@@ -1,0 +1,165 @@
+(* Benchmark harness.
+
+   Two parts, both filtered by [--only id1,id2]:
+
+   1. The experiment tables: regenerates every table and figure of the
+      paper's evaluation section (plus the DESIGN.md ablations) at the
+      default configuration and prints them in row/series form.  Use
+      [--quick] for the miniature configuration.
+
+   2. A Bechamel micro-benchmark suite with one [Test.make] per table or
+      figure, exercising that experiment's characteristic operation on a
+      small fixed workload (skip with [--skip-bechamel], keep only with
+      [--skip-tables]). *)
+
+let parse_args () =
+  let only = ref None in
+  let quick = ref false in
+  let skip_bechamel = ref false in
+  let skip_tables = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--only" :: v :: rest ->
+      only := Some (String.split_on_char ',' v);
+      go rest
+    | "--quick" :: rest ->
+      quick := true;
+      go rest
+    | "--skip-bechamel" :: rest ->
+      skip_bechamel := true;
+      go rest
+    | "--skip-tables" :: rest ->
+      skip_tables := true;
+      go rest
+    | other :: _ ->
+      Format.eprintf
+        "unknown argument %s (expected --only ids | --quick | --skip-bechamel | --skip-tables)@."
+        other;
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!only, !quick, !skip_bechamel, !skip_tables)
+
+let wanted only id =
+  match only with None -> true | Some ids -> List.mem id ids
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables and figures. *)
+
+let run_tables only quick =
+  let cfg =
+    if quick then Urm_workload.Experiments.quick else Urm_workload.Experiments.default
+  in
+  Format.printf "=== experiment tables (scale %g, h = %d, runs = %d) ===@.@."
+    cfg.Urm_workload.Experiments.scale cfg.Urm_workload.Experiments.h
+    cfg.Urm_workload.Experiments.runs;
+  List.iter
+    (fun (id, f) ->
+      if wanted only id then begin
+        let t0 = Unix.gettimeofday () in
+        let table = f cfg in
+        Format.printf "%a  [%.1fs]@.@." Urm_workload.Experiments.Table.pp table
+          (Unix.gettimeofday () -. t0)
+      end)
+    Urm_workload.Experiments.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks, one per table/figure. *)
+
+let micro_tests () =
+  (* One shared miniature workload so each staged closure is cheap enough
+     for Bechamel to sample many times. *)
+  let p = Urm_workload.Pipeline.create ~seed:3 ~scale:0.01 () in
+  let excel = Urm_workload.Targets.excel in
+  let ctx q_name =
+    let target, q = Urm_workload.Queries.by_name q_name in
+    (Urm_workload.Pipeline.ctx p target, q, Urm_workload.Pipeline.mappings p target ~h:10)
+  in
+  let run alg q_name () =
+    let ctx, q, ms = ctx q_name in
+    ignore (Urm.Algorithms.run alg ctx q ms)
+  in
+  let excel_mappings = Urm_workload.Pipeline.mappings p excel ~h:10 in
+  let stage = Bechamel.Staged.stage in
+  [
+    ("fig9a", stage (fun () -> ignore (Urm.Overlap.o_ratio excel_mappings)));
+    ("fig10a", stage (run Urm.Algorithms.Basic "Q1"));
+    ("fig10b", stage (run Urm.Algorithms.Ebasic "Q4"));
+    ("fig10c", stage (run Urm.Algorithms.Emqo "Q4"));
+    ("fig11a", stage (run (Urm.Algorithms.Osharing Urm.Eunit.Sef) "Q1"));
+    ("fig11b", stage (run Urm.Algorithms.Qsharing "Q4"));
+    ("fig11c", stage (run (Urm.Algorithms.Osharing Urm.Eunit.Sef) "Q4"));
+    ( "fig11d",
+      let q = Urm_workload.Sweeps.selections 3 in
+      let c = Urm_workload.Pipeline.ctx p excel in
+      stage (fun () -> ignore (Urm.Algorithms.run (Urm.Algorithms.Osharing Urm.Eunit.Sef) c q excel_mappings)) );
+    ( "fig11e",
+      let q = Urm_workload.Sweeps.self_joins 1 in
+      let c = Urm_workload.Pipeline.ctx p excel in
+      stage (fun () -> ignore (Urm.Algorithms.run (Urm.Algorithms.Osharing Urm.Eunit.Sef) c q excel_mappings)) );
+    ("fig11f", stage (run (Urm.Algorithms.Osharing Urm.Eunit.Random) "Q5"));
+    ("tab4", stage (run (Urm.Algorithms.Osharing Urm.Eunit.Snf) "Q4"));
+    ( "fig12a",
+      let c, q, ms = ctx "Q4" in
+      stage (fun () -> ignore (Urm.Topk.run ~k:1 c q ms)) );
+    ( "fig12b",
+      let c, q, ms = ctx "Q7" in
+      stage (fun () -> ignore (Urm.Topk.run ~k:1 c q ms)) );
+    ( "fig12c",
+      let c, q, ms = ctx "Q10" in
+      stage (fun () -> ignore (Urm.Topk.run ~k:1 c q ms)) );
+    ( "abl-memo",
+      let c, q, ms = ctx "Q3" in
+      stage (fun () -> ignore (Urm.Osharing.run ~use_memo:false c q ms)) );
+    ( "abl-index",
+      let c, q, ms = ctx "Q1" in
+      stage (fun () -> ignore (Urm.Algorithms.run Urm.Algorithms.Ebasic c q ms)) );
+    ( "abl-ptree",
+      let _, q, ms = ctx "Q4" in
+      let target, _ = Urm_workload.Queries.by_name "Q4" in
+      stage (fun () -> ignore (Urm.Ptree.partition target q ms)) );
+  ]
+
+let run_bechamel only =
+  let open Bechamel in
+  let tests =
+    micro_tests ()
+    |> List.filter (fun (id, _) -> wanted only id)
+    |> List.map (fun (id, staged) -> Test.make ~name:id staged)
+  in
+  if tests <> [] then begin
+    Format.printf "=== bechamel micro-benchmarks (one per table/figure) ===@.";
+    let grouped = Test.make_grouped ~name:"urm" ~fmt:"%s/%s" tests in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false ()
+    in
+    let raws = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+    let ols =
+      Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raws in
+    let rows =
+      Hashtbl.fold
+        (fun name result acc ->
+          let est =
+            match Analyze.OLS.estimates result with
+            | Some [ e ] -> e
+            | _ -> Float.nan
+          in
+          (name, est) :: acc)
+        results []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (name, ns) ->
+        if Float.is_nan ns then Format.printf "  %-24s (no estimate)@." name
+        else if ns > 1e9 then Format.printf "  %-24s %10.3f  s/run@." name (ns /. 1e9)
+        else if ns > 1e6 then Format.printf "  %-24s %10.3f ms/run@." name (ns /. 1e6)
+        else Format.printf "  %-24s %10.3f µs/run@." name (ns /. 1e3))
+      rows
+  end
+
+let () =
+  let only, quick, skip_bechamel, skip_tables = parse_args () in
+  if not skip_tables then run_tables only quick;
+  if not skip_bechamel then run_bechamel only

@@ -1,0 +1,334 @@
+(* urm — command-line interface to the uncertain-matching query engine.
+
+   Subcommands:
+     generate    print statistics of a synthetic source instance
+     match       show matcher correspondence candidates for a target schema
+     mappings    generate the h best possible mappings and overlap statistics
+     query       evaluate one of the Table III queries with a chosen algorithm
+     topk        evaluate a probabilistic top-k query
+     experiment  run one (or all) of the paper's experiments *)
+
+open Cmdliner
+
+let scale_t =
+  let doc = "Scale of the synthetic source instance (1.0 ≈ 86k tuples)." in
+  Arg.(value & opt float Urm_tpch.Gen.default_scale & info [ "scale" ] ~doc)
+
+let seed_t =
+  let doc = "Random seed for data generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let h_t =
+  let doc = "Number of possible mappings (the paper's h)." in
+  Arg.(value & opt int 100 & info [ "num-mappings"; "m" ] ~doc)
+
+let target_t =
+  let doc = "Target schema: Excel, Noris or Paragon." in
+  Arg.(value & opt string "Excel" & info [ "target" ] ~doc)
+
+let lookup_target name =
+  try Ok (Urm_workload.Targets.by_name name)
+  with Not_found ->
+    Error (`Msg (Printf.sprintf "unknown target schema %S (Excel|Noris|Paragon)" name))
+
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let run scale seed =
+    let cat = Urm_tpch.Gen.generate ~seed ~scale () in
+    Format.printf "source instance at scale %g (seed %d):@." scale seed;
+    List.iter
+      (fun name ->
+        Format.printf "  %-10s %8d rows@." name
+          (Urm_relalg.Relation.cardinality (Urm_relalg.Catalog.find cat name)))
+      (Urm_relalg.Catalog.names cat);
+    Format.printf "  %-10s %8d rows total@." "" (Urm_relalg.Catalog.total_rows cat)
+  in
+  let doc = "Generate a synthetic TPC-H-style source instance and print statistics." in
+  Cmd.v (Cmd.info "generate" ~doc) Term.(const run $ scale_t $ seed_t)
+
+let match_cmd =
+  let run target_name limit =
+    match lookup_target target_name with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      exit 1
+    | Ok target ->
+      let cands =
+        Urm_matcher.Match.candidates ~source:Urm_tpch.Gen.schema ~target ()
+      in
+      Format.printf "%d candidates for %s ↔ TPCH (best first):@."
+        (List.length cands) target_name;
+      List.iteri
+        (fun i c ->
+          if i < limit then Format.printf "  %a@." Urm_matcher.Match.pp_candidate c)
+        cands
+  in
+  let limit_t =
+    Arg.(value & opt int 30 & info [ "limit" ] ~doc:"Candidates to print.")
+  in
+  let doc = "Score correspondence candidates between a target schema and the source." in
+  Cmd.v (Cmd.info "match" ~doc) Term.(const run $ target_t $ limit_t)
+
+let mappings_cmd =
+  let run target_name h show =
+    match lookup_target target_name with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      exit 1
+    | Ok target ->
+      let ms = Urm.Mapgen.generate ~h ~source:Urm_tpch.Gen.schema ~target () in
+      Format.printf "%d possible mappings for %s; o-ratio %.3f@." (List.length ms)
+        target_name
+        (Urm.Overlap.o_ratio ms);
+      List.iteri (fun i m -> if i < show then Format.printf "%a@." Urm.Mapping.pp m) ms;
+      Format.printf "@.most shared correspondences:@.";
+      List.iteri
+        (fun i ((t, s), f) ->
+          if i < 10 then Format.printf "  %-28s ← %-24s %.0f%%@." t s (100. *. f))
+        (Urm.Overlap.correspondence_frequencies ms)
+  in
+  let show_t = Arg.(value & opt int 3 & info [ "show" ] ~doc:"Mappings to print.") in
+  let doc = "Generate the h best possible mappings via Murty's algorithm." in
+  Cmd.v (Cmd.info "mappings" ~doc) Term.(const run $ target_t $ h_t $ show_t)
+
+let algorithm_t =
+  let doc = "Algorithm: basic, e-basic, e-mqo, q-sharing, o-sharing, o-sharing-random, o-sharing-snf." in
+  Arg.(value & opt string "o-sharing" & info [ "algorithm"; "a" ] ~doc)
+
+let parse_algorithm = function
+  | "basic" -> Ok Urm.Algorithms.Basic
+  | "e-basic" -> Ok Urm.Algorithms.Ebasic
+  | "e-mqo" -> Ok Urm.Algorithms.Emqo
+  | "q-sharing" -> Ok Urm.Algorithms.Qsharing
+  | "o-sharing" -> Ok (Urm.Algorithms.Osharing Urm.Eunit.Sef)
+  | "o-sharing-snf" -> Ok (Urm.Algorithms.Osharing Urm.Eunit.Snf)
+  | "o-sharing-random" -> Ok (Urm.Algorithms.Osharing Urm.Eunit.Random)
+  | other -> Error (`Msg ("unknown algorithm " ^ other))
+
+let query_name_t =
+  let doc = "Query name (Q1..Q10)." in
+  Arg.(value & pos 0 string "Q1" & info [] ~docv:"QUERY" ~doc)
+
+let answers_t =
+  Arg.(value & opt int 10 & info [ "answers" ] ~doc:"Answer tuples to print.")
+
+let sql_t =
+  let doc =
+    "Evaluate this SQL text instead of a named query (the positional QUERY \
+     argument then selects only the target schema via Q1..Q10, or use \
+     --target)."
+  in
+  Arg.(value & opt (some string) None & info [ "sql" ] ~doc)
+
+let explain_t =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Print the u-trace (operator choices, partitions, leaves) while evaluating.")
+
+let query_cmd =
+  let run qname alg_name scale seed h answers sql explain =
+    match parse_algorithm alg_name with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      exit 1
+    | Ok alg -> begin
+      match
+        match sql with
+        | None -> Urm_workload.Queries.by_name qname
+        | Some text ->
+          let target =
+            match Urm_workload.Queries.by_name qname with
+            | target, _ -> target
+            | exception Not_found -> Urm_workload.Targets.by_name qname
+          in
+          (target, Urm.Sql.parse_exn ~name:"sql" ~target text)
+      with
+      | exception Not_found ->
+        Format.eprintf "unknown query %s (Q1..Q10)@." qname;
+        exit 1
+      | exception Invalid_argument msg ->
+        Format.eprintf "%s@." msg;
+        exit 1
+      | target, q ->
+        let p = Urm_workload.Pipeline.create ~seed ~scale () in
+        let ctx = Urm_workload.Pipeline.ctx p target in
+        let ms = Urm_workload.Pipeline.mappings p target ~h in
+        Format.printf "query: %a@." Urm.Query.pp q;
+        let report =
+          match (explain, alg) with
+          | true, Urm.Algorithms.Osharing strategy ->
+            let tracer line = Format.printf "  │ %s@." line in
+            fst (Urm.Osharing.run_with_stats ~strategy ~tracer ctx q ms)
+          | true, _ ->
+            Format.eprintf "--explain requires an o-sharing algorithm@.";
+            exit 1
+          | false, _ -> Urm.Algorithms.run alg ctx q ms
+        in
+        Format.printf "%s: %a@." (Urm.Algorithms.name alg) Urm.Report.pp report;
+        Format.printf "answers (top %d of %d):@." answers
+          (Urm.Answer.size report.Urm.Report.answer);
+        List.iter
+          (fun (t, prob) ->
+            Format.printf "  (%s) : %.4f@."
+              (String.concat ", "
+                 (Array.to_list (Array.map Urm_relalg.Value.to_string t)))
+              prob)
+          (Urm.Answer.top_k report.Urm.Report.answer answers);
+        if Urm.Answer.null_prob report.Urm.Report.answer > 0. then
+          Format.printf "  θ (empty) : %.4f@."
+            (Urm.Answer.null_prob report.Urm.Report.answer)
+    end
+  in
+  let doc = "Evaluate a probabilistic query over the uncertain matching." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      const run $ query_name_t $ algorithm_t $ scale_t $ seed_t $ h_t $ answers_t
+      $ sql_t $ explain_t)
+
+let topk_cmd =
+  let run qname k scale seed h =
+    match Urm_workload.Queries.by_name qname with
+    | exception Not_found ->
+      Format.eprintf "unknown query %s (Q1..Q10)@." qname;
+      exit 1
+    | target, q ->
+      let p = Urm_workload.Pipeline.create ~seed ~scale () in
+      let ctx = Urm_workload.Pipeline.ctx p target in
+      let ms = Urm_workload.Pipeline.mappings p target ~h in
+      let r = Urm.Topk.run ~k ctx q ms in
+      Format.printf "top-%d of %a (stopped early: %b, %d e-units):@." k
+        Urm.Query.pp q r.Urm.Topk.stopped_early r.Urm.Topk.visited_eunits;
+      List.iter
+        (fun (t, lb) ->
+          Format.printf "  (%s) : ≥ %.4f@."
+            (String.concat ", "
+               (Array.to_list (Array.map Urm_relalg.Value.to_string t)))
+            lb)
+        (Urm.Answer.to_list r.Urm.Topk.report.Urm.Report.answer)
+  in
+  let k_t = Arg.(value & opt int 5 & info [ "k" ] ~doc:"How many answers.") in
+  let doc = "Evaluate a probabilistic top-k query." in
+  Cmd.v (Cmd.info "topk" ~doc)
+    Term.(const run $ query_name_t $ k_t $ scale_t $ seed_t $ h_t)
+
+let threshold_cmd =
+  let run qname tau scale seed h =
+    match Urm_workload.Queries.by_name qname with
+    | exception Not_found ->
+      Format.eprintf "unknown query %s (Q1..Q10)@." qname;
+      exit 1
+    | target, q ->
+      let p = Urm_workload.Pipeline.create ~seed ~scale () in
+      let ctx = Urm_workload.Pipeline.ctx p target in
+      let ms = Urm_workload.Pipeline.mappings p target ~h in
+      let r = Urm.Threshold.run ~tau ctx q ms in
+      Format.printf "answers of %a with probability ≥ %.2f (stopped early: %b):@."
+        Urm.Query.pp q tau r.Urm.Threshold.stopped_early;
+      List.iter
+        (fun (t, lb) ->
+          Format.printf "  (%s) : ≥ %.4f@."
+            (String.concat ", "
+               (Array.to_list (Array.map Urm_relalg.Value.to_string t)))
+            lb)
+        (Urm.Answer.to_list r.Urm.Threshold.report.Urm.Report.answer)
+  in
+  let tau_t = Arg.(value & opt float 0.5 & info [ "tau" ] ~doc:"Probability threshold.") in
+  let doc = "Evaluate a probability-threshold query." in
+  Cmd.v (Cmd.info "threshold" ~doc)
+    Term.(const run $ query_name_t $ tau_t $ scale_t $ seed_t $ h_t)
+
+let export_cmd =
+  let run dir scale seed =
+    let cat = Urm_tpch.Gen.generate ~seed ~scale () in
+    Urm_relalg.Csv.export_catalog dir cat;
+    Format.printf "wrote %d relations (%d rows) to %s/@."
+      (List.length (Urm_relalg.Catalog.names cat))
+      (Urm_relalg.Catalog.total_rows cat)
+      dir
+  in
+  let dir_t = Arg.(value & pos 0 string "urm-data" & info [] ~docv:"DIR") in
+  let doc = "Export a generated source instance as CSV files." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ dir_t $ scale_t $ seed_t)
+
+let save_mappings_cmd =
+  let run path target_name h =
+    match lookup_target target_name with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      exit 1
+    | Ok target ->
+      let ms = Urm.Mapgen.generate ~h ~source:Urm_tpch.Gen.schema ~target () in
+      Urm.Mapping_io.save path ms;
+      Format.printf "saved %d mappings to %s@." (List.length ms) path
+  in
+  let path_t = Arg.(value & pos 0 string "mappings.json" & info [] ~docv:"FILE") in
+  let doc = "Generate mappings and save them as JSON." in
+  Cmd.v (Cmd.info "save-mappings" ~doc) Term.(const run $ path_t $ target_t $ h_t)
+
+let plan_cmd =
+  let run qname scale seed h =
+    match Urm_workload.Queries.by_name qname with
+    | exception Not_found ->
+      Format.eprintf "unknown query %s (Q1..Q10)@." qname;
+      exit 1
+    | target, q ->
+      let p = Urm_workload.Pipeline.create ~seed ~scale () in
+      let ctx = Urm_workload.Pipeline.ctx p target in
+      let ms = Urm_workload.Pipeline.mappings p target ~h in
+      let distinct = Urm.Ebasic.distinct_source_queries ctx q ms in
+      Format.printf "%a reformulates into %d distinct source queries over %d mappings:@."
+        Urm.Query.pp q (List.length distinct) (List.length ms);
+      List.iter
+        (fun (sq, prob) ->
+          match sq.Urm.Reformulate.body with
+          | Urm.Reformulate.Expr e ->
+            Format.printf "@.  [p=%.3f] %s@." prob (Urm_relalg.Algebra.to_string e)
+          | Urm.Reformulate.Unsatisfiable ->
+            Format.printf "@.  [p=%.3f] unsatisfiable (θ)@." prob
+          | Urm.Reformulate.Trivial -> Format.printf "@.  [p=%.3f] trivial@." prob)
+        distinct
+  in
+  let doc = "Show the distinct reformulated source queries and their probability mass." in
+  Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ query_name_t $ scale_t $ seed_t $ h_t)
+
+let experiment_cmd =
+  let run id quick =
+    let cfg =
+      if quick then Urm_workload.Experiments.quick
+      else Urm_workload.Experiments.default
+    in
+    let ids =
+      if String.equal id "all" then List.map fst Urm_workload.Experiments.all
+      else [ id ]
+    in
+    List.iter
+      (fun id ->
+        match Urm_workload.Experiments.run_by_id cfg id with
+        | table -> Format.printf "%a@." Urm_workload.Experiments.Table.pp table
+        | exception Not_found ->
+          Format.eprintf "unknown experiment %s; available: %s@." id
+            (String.concat ", " (List.map fst Urm_workload.Experiments.all));
+          exit 1)
+      ids
+  in
+  let id_t =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id or 'all'.")
+  in
+  let quick_t =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use the miniature configuration.")
+  in
+  let doc = "Re-run the paper's experiments (see DESIGN.md for the index)." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id_t $ quick_t)
+
+let () =
+  let doc = "probabilistic queries over uncertain schema matching (ICDE 2012)" in
+  let info = Cmd.info "urm" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; match_cmd; mappings_cmd; query_cmd; plan_cmd; topk_cmd;
+            threshold_cmd; export_cmd; save_mappings_cmd; experiment_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/advanced_features.ml: Array Filename Format List String Sys Urm Urm_relalg Urm_tpch Urm_workload

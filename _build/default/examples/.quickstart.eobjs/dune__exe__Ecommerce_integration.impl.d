@@ -1,0 +1,1 @@
+examples/ecommerce_integration.ml: Format List Urm Urm_matcher Urm_relalg Urm_tpch Urm_workload Urm_xmlconv

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Catalog Format List Relation Schema Urm Urm_relalg Value

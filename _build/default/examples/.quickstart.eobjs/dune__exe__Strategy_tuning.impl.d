@@ -1,0 +1,1 @@
+examples/strategy_tuning.ml: Format List Unix Urm Urm_util Urm_workload

@@ -1,0 +1,1 @@
+examples/topk_confidence.ml: Array Format List String Urm Urm_relalg Urm_workload

@@ -1,0 +1,1 @@
+lib/bipartite/hungarian.ml: Array Float

@@ -1,0 +1,1 @@
+lib/bipartite/murty.ml: Array Float Format Hashtbl Hungarian List Printf String Urm_util

@@ -1,0 +1,1 @@
+lib/bipartite/murty.mli: Format

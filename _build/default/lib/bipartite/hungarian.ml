@@ -1,0 +1,87 @@
+(* Shortest-augmenting-path Hungarian algorithm with row/column potentials.
+   Internally 1-indexed (index 0 is the virtual "unassigned" marker), the
+   standard formulation; see e.g. Burkard, Dell'Amico & Martello,
+   "Assignment Problems", ch. 4. *)
+
+let solve_min cost =
+  let n = Array.length cost in
+  if n = 0 then ([||], 0.)
+  else begin
+    let m = Array.length cost.(0) in
+    if n > m then invalid_arg "Hungarian.solve_min: more rows than columns";
+    Array.iter
+      (fun row ->
+        if Array.length row <> m then
+          invalid_arg "Hungarian.solve_min: ragged cost matrix")
+      cost;
+    let u = Array.make (n + 1) 0. in
+    let v = Array.make (m + 1) 0. in
+    let p = Array.make (m + 1) 0 in
+    (* p.(j) = row assigned to column j, 0 if free *)
+    let way = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      p.(0) <- i;
+      let j0 = ref 0 in
+      let minv = Array.make (m + 1) infinity in
+      let used = Array.make (m + 1) false in
+      let continue = ref true in
+      while !continue do
+        used.(!j0) <- true;
+        let i0 = p.(!j0) in
+        let delta = ref infinity in
+        let j1 = ref 0 in
+        for j = 1 to m do
+          if not used.(j) then begin
+            let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+            if cur < minv.(j) then begin
+              minv.(j) <- cur;
+              way.(j) <- !j0
+            end;
+            if minv.(j) < !delta then begin
+              delta := minv.(j);
+              j1 := j
+            end
+          end
+        done;
+        for j = 0 to m do
+          if used.(j) then begin
+            u.(p.(j)) <- u.(p.(j)) +. !delta;
+            v.(j) <- v.(j) -. !delta
+          end
+          else minv.(j) <- minv.(j) -. !delta
+        done;
+        j0 := !j1;
+        if p.(!j0) = 0 then continue := false
+      done;
+      (* Augment along the alternating path. *)
+      let j0 = ref !j0 in
+      while !j0 <> 0 do
+        let j1 = way.(!j0) in
+        p.(!j0) <- p.(j1);
+        j0 := j1
+      done
+    done;
+    let assignment = Array.make n (-1) in
+    for j = 1 to m do
+      if p.(j) > 0 then assignment.(p.(j) - 1) <- j - 1
+    done;
+    let total = ref 0. in
+    Array.iteri (fun i j -> total := !total +. cost.(i).(j)) assignment;
+    (assignment, !total)
+  end
+
+let solve_max weights =
+  let n = Array.length weights in
+  if n = 0 then ([||], 0.)
+  else begin
+    let maxw =
+      Array.fold_left
+        (fun acc row -> Array.fold_left Float.max acc row)
+        neg_infinity weights
+    in
+    let cost = Array.map (Array.map (fun w -> maxw -. w)) weights in
+    let assignment, _ = solve_min cost in
+    let total = ref 0. in
+    Array.iteri (fun i j -> total := !total +. weights.(i).(j)) assignment;
+    (assignment, !total)
+  end

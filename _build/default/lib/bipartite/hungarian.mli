@@ -1,0 +1,16 @@
+(** Hungarian algorithm (Kuhn–Munkres, shortest-augmenting-path variant,
+    O(n³)) for the assignment problem.
+
+    This is the substrate for generating the paper's possible mappings: the
+    best one-to-one matching between target and source attributes by total
+    similarity score, ranked into the k best by {!Murty}. *)
+
+(** [solve_min cost] minimises total cost over perfect assignments of rows
+    to columns.  [cost] must be rectangular with [rows ≤ cols]; every row is
+    assigned a distinct column.  Returns [(assignment, total)] where
+    [assignment.(i)] is the column of row [i]. *)
+val solve_min : float array array -> int array * float
+
+(** [solve_max weights] maximises total weight.  Same shape requirements as
+    {!solve_min}. *)
+val solve_max : float array array -> int array * float

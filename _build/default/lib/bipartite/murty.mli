@@ -1,0 +1,22 @@
+(** Murty's ranking algorithm (1968): enumerate the k best assignments in
+    non-increasing order of total weight.
+
+    The paper derives its set of h possible mappings by running "a bipartite
+    matching algorithm [10],[9]" that returns the h mappings with the highest
+    similarity scores; this module is that component.  Partial matchings are
+    supported by treating non-positive weights as absent edges: internally
+    the weight matrix is padded with zero-weight dummy columns so every row
+    may remain unmatched, and dummy/zero assignments are dropped from the
+    reported pairs. *)
+
+type assignment = {
+  pairs : (int * int) list;  (** matched (row, col) pairs, real edges only *)
+  score : float;  (** total weight of [pairs] *)
+}
+
+val pp_assignment : Format.formatter -> assignment -> unit
+
+(** [k_best ~weights ~k] the up-to-[k] best assignments, best first, with
+    strictly distinct pair sets.  [weights.(i).(j) <= 0.] means "no edge".
+    Rows and columns may be of any relative size. *)
+val k_best : weights:float array array -> k:int -> assignment list

@@ -1,0 +1,1 @@
+lib/core/algorithms.ml: Basic Ebasic Emqo Eunit Osharing Printf Qsharing Topk

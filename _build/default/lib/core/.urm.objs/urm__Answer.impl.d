@@ -1,0 +1,1 @@
+lib/core/answer.ml: Array Float Format Hashtbl List String Urm_relalg Value

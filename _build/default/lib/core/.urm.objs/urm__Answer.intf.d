@@ -1,0 +1,1 @@
+lib/core/answer.mli: Format Urm_relalg

@@ -1,0 +1,1 @@
+lib/core/basic.ml: Answer Ctx Eval List Mapping Reformulate Report Urm_relalg Urm_util

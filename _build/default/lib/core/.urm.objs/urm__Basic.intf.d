@@ -1,0 +1,1 @@
+lib/core/basic.mli: Ctx Mapping Query Report

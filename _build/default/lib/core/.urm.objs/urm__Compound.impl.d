@@ -1,0 +1,1 @@
+lib/core/compound.ml: Answer Ctx Eval Format Hashtbl List Mapping Printf Ptree Query Reformulate Report String Urm_relalg Urm_util Value

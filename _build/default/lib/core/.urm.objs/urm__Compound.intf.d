@@ -1,0 +1,1 @@
+lib/core/compound.mli: Ctx Format Mapping Query Report

@@ -1,0 +1,1 @@
+lib/core/ebasic.ml: Answer Ctx Eval Hashtbl List Mapping Reformulate Report Urm_relalg Urm_util

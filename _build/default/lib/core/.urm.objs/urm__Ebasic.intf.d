@@ -1,0 +1,1 @@
+lib/core/ebasic.mli: Ctx Mapping Query Reformulate Report

@@ -1,0 +1,1 @@
+lib/core/emqo.ml: Answer Array Ctx Ebasic Eval List Reformulate Report Urm_mqo Urm_relalg Urm_util

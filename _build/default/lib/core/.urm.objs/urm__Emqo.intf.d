@@ -1,0 +1,1 @@
+lib/core/emqo.mli: Ctx Mapping Query Report

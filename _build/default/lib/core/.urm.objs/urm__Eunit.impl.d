@@ -1,0 +1,1 @@
+lib/core/eunit.ml: Algebra Array Catalog Ctx Eval Float Format Hashtbl List Mapping Option Pred Ptree Query Relation Schema String Urm_relalg Urm_util Value

@@ -1,0 +1,1 @@
+lib/core/eunit.mli: Ctx Mapping Query Urm_relalg

@@ -1,0 +1,1 @@
+lib/core/lineage.ml: Array Ctx Eval Float Format Hashtbl Int List Mapping Reformulate String Urm_relalg Value

@@ -1,0 +1,1 @@
+lib/core/lineage.mli: Ctx Format Mapping Query Urm_relalg

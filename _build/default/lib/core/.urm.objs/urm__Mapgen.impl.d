@@ -1,0 +1,1 @@
+lib/core/mapgen.ml: Array Float Hashtbl List Mapping String Urm_bipartite Urm_matcher

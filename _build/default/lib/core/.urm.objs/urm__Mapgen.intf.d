@@ -1,0 +1,1 @@
+lib/core/mapgen.mli: Mapping Urm_matcher Urm_relalg

@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Format Hashtbl List String

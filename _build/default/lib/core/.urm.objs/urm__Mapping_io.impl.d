@@ -1,0 +1,1 @@
+lib/core/mapping_io.ml: Fun List Mapping Urm_util

@@ -1,0 +1,1 @@
+lib/core/montecarlo.ml: Answer Ctx Eval Float Hashtbl List Mapping Option Reformulate Urm_relalg Urm_util Value

@@ -1,0 +1,1 @@
+lib/core/montecarlo.mli: Answer Ctx Mapping Query Urm_util

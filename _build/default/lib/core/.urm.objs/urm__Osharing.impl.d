@@ -1,0 +1,1 @@
+lib/core/osharing.ml: Answer Ctx Eunit Eval List Option Qsharing Reformulate Report Urm_relalg Urm_util

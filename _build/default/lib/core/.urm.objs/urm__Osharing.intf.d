@@ -1,0 +1,1 @@
+lib/core/osharing.mli: Ctx Eunit Mapping Query Report

@@ -1,0 +1,1 @@
+lib/core/overlap.ml: Array Float Hashtbl List Mapping

@@ -1,0 +1,1 @@
+lib/core/ptree.ml: Hashtbl List Mapping Query String Urm_relalg

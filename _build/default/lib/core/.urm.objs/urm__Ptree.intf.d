@@ -1,0 +1,1 @@
+lib/core/ptree.mli: Mapping Query Urm_relalg

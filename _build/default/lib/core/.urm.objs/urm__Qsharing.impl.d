@@ -1,0 +1,1 @@
+lib/core/qsharing.ml: Basic Ctx List Ptree Report Urm_util

@@ -1,0 +1,1 @@
+lib/core/qsharing.mli: Ctx Mapping Query Report

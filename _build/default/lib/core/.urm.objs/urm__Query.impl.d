@@ -1,0 +1,1 @@
+lib/core/query.ml: Format Hashtbl List Option Schema String Urm_relalg Value

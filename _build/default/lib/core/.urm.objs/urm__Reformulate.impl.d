@@ -1,0 +1,1 @@
+lib/core/reformulate.ml: Algebra Answer Array Catalog List Mapping Option Pred Query Relation Schema String Urm_relalg Value

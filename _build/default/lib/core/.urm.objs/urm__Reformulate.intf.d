@@ -1,0 +1,1 @@
+lib/core/reformulate.mli: Answer Mapping Query Urm_relalg

@@ -1,0 +1,1 @@
+lib/core/sql.ml: Buffer Format List Printf Query Schema String Urm_relalg Value

@@ -1,0 +1,1 @@
+lib/core/sql.mli: Format Query Urm_relalg

@@ -1,0 +1,1 @@
+lib/core/threshold.ml: Answer Ctx Eunit Eval Hashtbl List Qsharing Reformulate Report Urm_relalg Urm_util Value

@@ -1,0 +1,1 @@
+lib/core/threshold.mli: Ctx Eunit Mapping Query Report

@@ -1,0 +1,1 @@
+lib/core/topk.ml: Answer Array Ctx Eunit Eval Float Hashtbl List Qsharing Reformulate Report Urm_relalg Urm_util Value

@@ -1,0 +1,1 @@
+lib/core/topk.mli: Ctx Eunit Mapping Query Report

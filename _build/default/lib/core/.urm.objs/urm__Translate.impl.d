@@ -1,0 +1,1 @@
+lib/core/translate.ml: Algebra Array Catalog Ctx Eval List Mapping Option Reformulate Relation Schema String Urm_relalg Value

@@ -1,0 +1,1 @@
+lib/core/translate.mli: Ctx Mapping Urm_relalg

@@ -1,0 +1,28 @@
+type t =
+  | Basic
+  | Ebasic
+  | Emqo
+  | Qsharing
+  | Osharing of Eunit.strategy
+  | Topk of int * Eunit.strategy
+
+let name = function
+  | Basic -> "basic"
+  | Ebasic -> "e-basic"
+  | Emqo -> "e-MQO"
+  | Qsharing -> "q-sharing"
+  | Osharing s -> "o-sharing/" ^ Eunit.strategy_name s
+  | Topk (k, s) -> Printf.sprintf "top-%d/%s" k (Eunit.strategy_name s)
+
+let exact =
+  [ Basic; Ebasic; Emqo; Qsharing; Osharing Eunit.Random; Osharing Eunit.Snf;
+    Osharing Eunit.Sef ]
+
+let run t ctx q ms =
+  match t with
+  | Basic -> Basic.run ctx q ms
+  | Ebasic -> Ebasic.run ctx q ms
+  | Emqo -> Emqo.run ctx q ms
+  | Qsharing -> Qsharing.run ctx q ms
+  | Osharing s -> Osharing.run ~strategy:s ctx q ms
+  | Topk (k, s) -> (Topk.run ~strategy:s ~k ctx q ms).Topk.report

@@ -1,0 +1,19 @@
+(** Uniform dispatch over the five evaluation algorithms (plus top-k), used
+    by the CLI, the experiment harness and the cross-algorithm consistency
+    tests. *)
+
+type t =
+  | Basic
+  | Ebasic
+  | Emqo
+  | Qsharing
+  | Osharing of Eunit.strategy
+  | Topk of int * Eunit.strategy
+
+val name : t -> string
+
+(** All exact algorithms (everything except [Topk]); they must produce
+    identical answers on any input. *)
+val exact : t list
+
+val run : t -> Ctx.t -> Query.t -> Mapping.t list -> Report.t

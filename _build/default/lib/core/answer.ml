@@ -1,0 +1,87 @@
+open Urm_relalg
+
+type t = {
+  output : string list;
+  arity : int;
+  rows : (Value.t array, float) Hashtbl.t;
+  mutable null_mass : float;
+}
+
+let create output =
+  { output; arity = List.length output; rows = Hashtbl.create 64; null_mass = 0. }
+
+let output t = t.output
+
+let add t tuple p =
+  if Array.length tuple <> t.arity then invalid_arg "Answer.add: arity mismatch";
+  let prev = try Hashtbl.find t.rows tuple with Not_found -> 0. in
+  Hashtbl.replace t.rows tuple (prev +. p)
+
+let add_null t p = t.null_mass <- t.null_mass +. p
+let null_prob t = t.null_mass
+
+let compare_tuples a b =
+  let rec go i =
+    if i >= Array.length a then 0
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let to_list t =
+  Hashtbl.fold (fun tuple p acc -> (tuple, p) :: acc) t.rows []
+  |> List.sort (fun (ta, pa) (tb, pb) ->
+         let c = Float.compare pb pa in
+         if c <> 0 then c else compare_tuples ta tb)
+
+let top_k t k = List.filteri (fun i _ -> i < k) (to_list t)
+let size t = Hashtbl.length t.rows
+let total_prob t = Hashtbl.fold (fun _ p acc -> acc +. p) t.rows t.null_mass
+let prob_of t tuple = try Hashtbl.find t.rows tuple with Not_found -> 0.
+
+let approx_tuple_equal ta tb =
+  Array.length ta = Array.length tb
+  &&
+  let rec go i =
+    i >= Array.length ta || (Value.approx_equal ta.(i) tb.(i) && go (i + 1))
+  in
+  go 0
+
+(* [prob_of] with a fallback approximate scan: float-valued aggregates
+   computed by differently-ordered summations land on slightly different
+   keys. *)
+let prob_of_approx t tuple =
+  match Hashtbl.find_opt t.rows tuple with
+  | Some p -> Some p
+  | None ->
+    Hashtbl.fold
+      (fun other p acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if approx_tuple_equal tuple other then Some p else None)
+      t.rows None
+
+let equal ?(eps = 1e-9) a b =
+  a.output = b.output
+  && abs_float (a.null_mass -. b.null_mass) <= eps
+  && Hashtbl.length a.rows = Hashtbl.length b.rows
+  && Hashtbl.fold
+       (fun tuple p ok ->
+         ok
+         &&
+         match prob_of_approx b tuple with
+         | Some q -> abs_float (q -. p) <= eps
+         | None -> false)
+       a.rows true
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>answer over (%s):" (String.concat ", " t.output);
+  List.iter
+    (fun (tuple, p) ->
+      Format.fprintf ppf "@,  (%s) : %.4f"
+        (String.concat ", " (Array.to_list (Array.map Value.to_string tuple)))
+        p)
+    (to_list t);
+  if t.null_mass > 0. then Format.fprintf ppf "@,  θ : %.4f" t.null_mass;
+  Format.fprintf ppf "@]"

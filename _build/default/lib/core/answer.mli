@@ -1,0 +1,47 @@
+(** Probabilistic query answers: a set of (tuple, probability) pairs over
+    the target output attributes, plus the probability mass of the empty
+    answer θ (paper §V, Case 2).
+
+    Tuples are over the target schema — each position is the value of one
+    output target attribute, [Null] where the mapping had no correspondence
+    — so answers produced under different mappings aggregate correctly
+    (duplicates sum their probabilities). *)
+
+type t
+
+(** [create output] an empty accumulator with the given output labels. *)
+val create : string list -> t
+
+val output : t -> string list
+
+(** [add t tuple p] accumulates probability [p] onto [tuple].
+    Requires arity to match [output]. *)
+val add : t -> Urm_relalg.Value.t array -> float -> unit
+
+(** [add_null t p] accumulates probability onto θ. *)
+val add_null : t -> float -> unit
+
+val null_prob : t -> float
+
+(** Distinct tuples with their probabilities, sorted by probability
+    descending (ties broken by tuple order, deterministically). *)
+val to_list : t -> (Urm_relalg.Value.t array * float) list
+
+(** [top_k t k] the k most probable tuples (θ excluded). *)
+val top_k : t -> int -> (Urm_relalg.Value.t array * float) list
+
+(** Number of distinct tuples (θ excluded). *)
+val size : t -> int
+
+(** Total probability mass including θ. *)
+val total_prob : t -> float
+
+(** [prob_of t tuple] the accumulated probability of [tuple] ([0.] when
+    absent). *)
+val prob_of : t -> Urm_relalg.Value.t array -> float
+
+(** [equal ?eps a b] same outputs, same θ mass and same tuple
+    probabilities within [eps] (default [1e-9]). *)
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,5 @@
+(** The [basic] algorithm (paper §III-B.1): reformulate the target query
+    through every possible mapping, evaluate each source query, and
+    aggregate duplicate answers by summing probabilities. *)
+
+val run : Ctx.t -> Query.t -> Mapping.t list -> Report.t

@@ -1,0 +1,34 @@
+(** Compound (set-operator) probabilistic queries — the first item of the
+    paper's future work (§IX: "the use of o-sharing to support other complex
+    queries (e.g., set operators…)").
+
+    A compound query combines target queries with UNION / INTERSECT /
+    EXCEPT.  Semantics follow the possible-worlds reading of the mapping
+    model: under each mapping the compound evaluates set-wise over the
+    member queries' (set-semantics) answers, and a tuple's probability is
+    the total mass of mappings whose compound answer contains it.
+
+    Evaluation uses query-level sharing: mappings are grouped by the vector
+    of member source-query keys (the natural generalisation of q-sharing's
+    partitioning), each member's source query runs once per distinct key
+    {e across all groups}, and set operations combine cached tuple sets. *)
+
+type t =
+  | Query of Query.t
+  | Union of t * t
+  | Intersect of t * t
+  | Except of t * t
+
+(** Member queries, left to right. *)
+val leaves : t -> Query.t list
+
+(** All member queries must agree on output arity.
+    Raises [Invalid_argument] otherwise. *)
+val validate : t -> unit
+
+(** [run ctx c ms] evaluates the compound query.  The report's answer uses
+    the first member's output header; [groups] is the number of mapping
+    partitions. *)
+val run : Ctx.t -> t -> Mapping.t list -> Report.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,7 @@
+type t = {
+  catalog : Urm_relalg.Catalog.t;
+  source : Urm_relalg.Schema.t;
+  target : Urm_relalg.Schema.t;
+}
+
+let make ~catalog ~source ~target = { catalog; source; target }

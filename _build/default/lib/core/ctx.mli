@@ -1,0 +1,13 @@
+(** Evaluation context: the source instance and the two schemas. *)
+
+type t = {
+  catalog : Urm_relalg.Catalog.t;  (** the source instance D *)
+  source : Urm_relalg.Schema.t;
+  target : Urm_relalg.Schema.t;
+}
+
+val make :
+  catalog:Urm_relalg.Catalog.t ->
+  source:Urm_relalg.Schema.t ->
+  target:Urm_relalg.Schema.t ->
+  t

@@ -1,0 +1,54 @@
+open Urm_relalg
+
+let distinct_source_queries (ctx : Ctx.t) q ms =
+  let groups = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun m ->
+      let sq = Reformulate.source_query ctx.target q m in
+      let k = Reformulate.key sq in
+      match Hashtbl.find_opt groups k with
+      | Some cell -> cell := (fst !cell, snd !cell +. m.Mapping.prob)
+      | None ->
+        Hashtbl.add groups k (ref (sq, m.Mapping.prob));
+        order := k :: !order)
+    ms;
+  List.rev_map (fun k -> !(Hashtbl.find groups k)) !order
+
+let run (ctx : Ctx.t) q ms =
+  let ctrs = Eval.fresh_counters () in
+  let distinct, rewrite =
+    Urm_util.Timer.time (fun () -> distinct_source_queries ctx q ms)
+  in
+  let sw_evaluate = Urm_util.Timer.Stopwatch.create () in
+  let sw_aggregate = Urm_util.Timer.Stopwatch.create () in
+  let acc = Answer.create (Reformulate.output_header q) in
+  List.iter
+    (fun (sq, p) ->
+      Urm_util.Timer.Stopwatch.start sw_evaluate;
+      let rel =
+        match sq.Reformulate.body with
+        | Reformulate.Expr e -> Some (Eval.eval ~ctrs ctx.catalog e)
+        | Reformulate.Unsatisfiable | Reformulate.Trivial -> None
+      in
+      Urm_util.Timer.Stopwatch.stop sw_evaluate;
+      Urm_util.Timer.Stopwatch.start sw_aggregate;
+      let factor = Reformulate.factor ctx.catalog sq in
+      (match rel with
+      | Some r -> Reformulate.answers_into acc sq ~factor r p
+      | None -> Reformulate.null_answer_into acc sq ~factor p);
+      Urm_util.Timer.Stopwatch.stop sw_aggregate)
+    distinct;
+  {
+    Report.answer = acc;
+    timings =
+      {
+        Report.rewrite;
+        plan = 0.;
+        evaluate = Urm_util.Timer.Stopwatch.elapsed sw_evaluate;
+        aggregate = Urm_util.Timer.Stopwatch.elapsed sw_aggregate;
+      };
+    source_operators = ctrs.Eval.operators;
+    rows_produced = ctrs.Eval.rows_produced;
+    groups = List.length distinct;
+  }

@@ -1,0 +1,11 @@
+(** The [e-basic] algorithm (paper §III-B.2): like {!Basic} but identical
+    source queries are clustered first and each distinct source query is
+    evaluated once, carrying the summed probability of its mappings. *)
+
+val run : Ctx.t -> Query.t -> Mapping.t list -> Report.t
+
+(** The clustering step, exposed for e-MQO and tests: source queries grouped
+    by {!Reformulate.key} with their probability mass, in first-appearance
+    order. *)
+val distinct_source_queries :
+  Ctx.t -> Query.t -> Mapping.t list -> (Reformulate.t * float) list

@@ -1,0 +1,38 @@
+open Urm_relalg
+
+let run (ctx : Ctx.t) q ms =
+  let ctrs = Eval.fresh_counters () in
+  let distinct, rewrite =
+    Urm_util.Timer.time (fun () -> Ebasic.distinct_source_queries ctx q ms)
+  in
+  let body_expr (sq, _) =
+    match sq.Reformulate.body with Reformulate.Expr e -> Some e | _ -> None
+  in
+  let evaluable = List.filter (fun g -> body_expr g <> None) distinct in
+  let exprs = List.filter_map body_expr evaluable in
+  let plan, plan_time = Urm_util.Timer.time (fun () -> Urm_mqo.Planner.plan ctx.catalog exprs) in
+  let acc = Answer.create (Reformulate.output_header q) in
+  let evaluable_arr = Array.of_list evaluable in
+  let (), evaluate =
+    Urm_util.Timer.time (fun () ->
+        Urm_mqo.Planner.execute_iter ~ctrs ctx.catalog plan ~f:(fun i _ rel ->
+            let sq, p = evaluable_arr.(i) in
+            Reformulate.answers_into acc sq
+              ~factor:(Reformulate.factor ctx.catalog sq) rel p))
+  in
+  let (), aggregate =
+    Urm_util.Timer.time (fun () ->
+        List.iter
+          (fun (sq, p) ->
+            if body_expr (sq, p) = None then
+              Reformulate.null_answer_into acc sq
+                ~factor:(Reformulate.factor ctx.catalog sq) p)
+          distinct)
+  in
+  {
+    Report.answer = acc;
+    timings = { Report.rewrite; plan = plan_time; evaluate; aggregate };
+    source_operators = ctrs.Eval.operators;
+    rows_produced = ctrs.Eval.rows_produced;
+    groups = List.length distinct;
+  }

@@ -1,0 +1,8 @@
+(** The [e-MQO] algorithm (paper §III-B.3): cluster identical source queries
+    as in e-basic, then hand the distinct queries to a multi-query optimiser
+    that builds one global plan sharing common subexpressions, and evaluate
+    that plan.  Plan generation cost is part of the reported time — it is
+    the reason the paper finds e-MQO slower than e-basic despite executing
+    the fewest operators. *)
+
+val run : Ctx.t -> Query.t -> Mapping.t list -> Report.t

@@ -1,0 +1,28 @@
+(** Answer lineage: which possible mappings support each answer tuple.
+
+    A probabilistic answer's probability is the mass of the mappings whose
+    reformulated query returns the tuple; lineage makes that set explicit,
+    which is what a data integrator debugging a suspicious answer actually
+    wants to see ("this address only appears if phone maps to hphone").
+
+    Cost matches e-basic: one evaluation per distinct source query. *)
+
+type entry = {
+  tuple : Urm_relalg.Value.t array;
+  prob : float;
+  support : int list;  (** ids of the supporting mappings, ascending *)
+}
+
+type t = {
+  output : string list;
+  entries : entry list;  (** probability-descending *)
+  null_prob : float;
+  null_support : int list;  (** mappings under which the answer is empty *)
+}
+
+val run : Ctx.t -> Query.t -> Mapping.t list -> t
+
+(** [support_of t tuple] ([\[\]] when the tuple is not an answer). *)
+val support_of : t -> Urm_relalg.Value.t array -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+let index_of l =
+  let h = Hashtbl.create 32 in
+  List.iteri (fun i x -> Hashtbl.replace h x i) l;
+  h
+
+let from_candidates ~h cands =
+  if cands = [] then []
+  else begin
+    let targets =
+      List.sort_uniq String.compare (List.map (fun c -> c.Urm_matcher.Match.dst) cands)
+    in
+    let sources =
+      List.sort_uniq String.compare (List.map (fun c -> c.Urm_matcher.Match.src) cands)
+    in
+    let t_index = index_of targets and s_index = index_of sources in
+    let t_arr = Array.of_list targets and s_arr = Array.of_list sources in
+    let weights = Array.make_matrix (Array.length t_arr) (Array.length s_arr) 0. in
+    List.iter
+      (fun c ->
+        let i = Hashtbl.find t_index c.Urm_matcher.Match.dst in
+        let j = Hashtbl.find s_index c.Urm_matcher.Match.src in
+        weights.(i).(j) <- Float.max weights.(i).(j) c.Urm_matcher.Match.score)
+      cands;
+    let assignments = Urm_bipartite.Murty.k_best ~weights ~k:h in
+    let assignments =
+      List.filter (fun (a : Urm_bipartite.Murty.assignment) -> a.score > 0.) assignments
+    in
+    let total =
+      List.fold_left
+        (fun acc (a : Urm_bipartite.Murty.assignment) -> acc +. a.score)
+        0. assignments
+    in
+    List.mapi
+      (fun id (a : Urm_bipartite.Murty.assignment) ->
+        let pairs = List.map (fun (i, j) -> (t_arr.(i), s_arr.(j))) a.pairs in
+        Mapping.make ~id ~prob:(a.score /. total) ~score:a.score pairs)
+      assignments
+  end
+
+let generate ?threshold ~h ~source ~target () =
+  let cands = Urm_matcher.Match.candidates ?threshold ~source ~target () in
+  from_candidates ~h cands
+
+let top_mapping_size ?threshold ~source ~target () =
+  match generate ?threshold ~h:1 ~source ~target () with
+  | [] -> 0
+  | m :: _ -> Mapping.size m

@@ -1,0 +1,29 @@
+(** Generation of the possible-mapping set (paper §II / §VIII-A): run the
+    matcher over the two schemas, then rank the h best one-to-one partial
+    matchings with Murty's algorithm, and normalise their total similarity
+    scores into probabilities. *)
+
+(** [from_candidates ~h cands] the up-to-[h] best mappings derivable from
+    the matcher's correspondence candidates.  Zero-score (empty) matchings
+    are dropped; probabilities are each mapping's score over the total score
+    of the returned set. *)
+val from_candidates : h:int -> Urm_matcher.Match.candidate list -> Mapping.t list
+
+(** [generate ?threshold ~h ~source ~target ()] full pipeline:
+    matcher candidates → k-best matchings → normalised mappings. *)
+val generate :
+  ?threshold:float ->
+  h:int ->
+  source:Urm_relalg.Schema.t ->
+  target:Urm_relalg.Schema.t ->
+  unit ->
+  Mapping.t list
+
+(** Number of correspondences of the best (rank-1) mapping — the statistic
+    the paper quotes for COMA++ (34 / 18 / 31 correspondences). *)
+val top_mapping_size :
+  ?threshold:float ->
+  source:Urm_relalg.Schema.t ->
+  target:Urm_relalg.Schema.t ->
+  unit ->
+  int

@@ -1,0 +1,55 @@
+module Json = Urm_util.Json
+
+let to_json ms =
+  Json.to_string
+    (Json.Arr
+       (List.map
+          (fun m ->
+            Json.Obj
+              [
+                ("id", Json.Num (float_of_int m.Mapping.id));
+                ("prob", Json.Num m.Mapping.prob);
+                ("score", Json.Num m.Mapping.score);
+                ( "pairs",
+                  Json.Arr
+                    (List.map
+                       (fun (t, s) -> Json.Arr [ Json.Str t; Json.Str s ])
+                       m.Mapping.pairs) );
+              ])
+          ms))
+
+let of_json text =
+  let json = Json.parse_exn text in
+  List.map
+    (fun entry ->
+      let field name =
+        match Json.member name entry with
+        | Some v -> v
+        | None -> failwith ("Mapping_io: missing field " ^ name)
+      in
+      let pairs =
+        List.map
+          (fun pair ->
+            match Json.to_list pair with
+            | [ t; s ] -> (Json.to_str t, Json.to_str s)
+            | _ -> failwith "Mapping_io: pair must be [target, source]")
+          (Json.to_list (field "pairs"))
+      in
+      Mapping.make
+        ~id:(Json.to_int (field "id"))
+        ~prob:(Json.to_float (field "prob"))
+        ~score:(Json.to_float (field "score"))
+        pairs)
+    (Json.to_list json)
+
+let save path ms =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ms))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_json (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,18 @@
+(** Persistence for mapping sets.
+
+    A matching (h possible mappings with probabilities) is the expensive
+    artefact of the pipeline — matcher scoring plus Murty enumeration —
+    so it is worth saving between sessions.  Format: a JSON array of
+    objects [{"id", "prob", "score", "pairs": [[target, source], …]}]. *)
+
+(** [to_json ms] compact JSON text. *)
+val to_json : Mapping.t list -> string
+
+(** [of_json text] raises [Failure] on malformed input or on mappings that
+    violate the one-to-one constraint. *)
+val of_json : string -> Mapping.t list
+
+(** [save path ms] / [load path]: file round-trip. *)
+val save : string -> Mapping.t list -> unit
+
+val load : string -> Mapping.t list

@@ -1,0 +1,63 @@
+open Urm_relalg
+
+let sample rng ms =
+  let x = Urm_util.Prng.float rng in
+  let rec pick acc = function
+    | [] -> List.nth ms (List.length ms - 1)
+    | m :: rest ->
+      let acc = acc +. m.Mapping.prob in
+      if x < acc then m else pick acc rest
+  in
+  pick 0. ms
+
+let estimate ?(seed = 17) ~samples (ctx : Ctx.t) q ms =
+  if samples <= 0 then invalid_arg "Montecarlo.estimate: samples must be positive";
+  let rng = Urm_util.Prng.create seed in
+  (* Evaluate each distinct source query once; a sampled world then only
+     looks up the tuples of its mapping's source query. *)
+  let cache : (string, Value.t array list) Hashtbl.t = Hashtbl.create 32 in
+  let tuples_of m =
+    let sq = Reformulate.source_query ctx.target q m in
+    let key = Reformulate.key sq in
+    match Hashtbl.find_opt cache key with
+    | Some tuples -> tuples
+    | None ->
+      let rel =
+        match sq.Reformulate.body with
+        | Reformulate.Expr e -> Some (Eval.eval ctx.catalog e)
+        | Reformulate.Unsatisfiable | Reformulate.Trivial -> None
+      in
+      let tuples =
+        Reformulate.result_tuples sq ~factor:(Reformulate.factor ctx.catalog sq) rel
+      in
+      Hashtbl.replace cache key tuples;
+      tuples
+  in
+  let counts : (Value.t array, int) Hashtbl.t = Hashtbl.create 64 in
+  let null_count = ref 0 in
+  for _ = 1 to samples do
+    let world = sample rng ms in
+    match tuples_of world with
+    | [] -> incr null_count
+    | tuples ->
+      List.iter
+        (fun t ->
+          Hashtbl.replace counts t
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts t)))
+        tuples
+  done;
+  let acc = Answer.create (Reformulate.output_header q) in
+  let total = float_of_int samples in
+  Hashtbl.iter (fun t c -> Answer.add acc t (float_of_int c /. total)) counts;
+  Answer.add_null acc (float_of_int !null_count /. total);
+  acc
+
+let max_deviation ~exact ~estimate =
+  let dev_over a b =
+    List.fold_left
+      (fun acc (t, p) -> Float.max acc (abs_float (p -. Answer.prob_of b t)))
+      0. (Answer.to_list a)
+  in
+  Float.max
+    (abs_float (Answer.null_prob exact -. Answer.null_prob estimate))
+    (Float.max (dev_over exact estimate) (dev_over estimate exact))

@@ -1,0 +1,23 @@
+(** Monte-Carlo validation of probabilistic answers.
+
+    The mapping model is a discrete distribution over possible worlds: one
+    mapping is correct, with its probability.  Sampling worlds and
+    evaluating the query deterministically in each gives an unbiased
+    estimate of every answer tuple's probability — an implementation-
+    independent cross-check of the exact algorithms (used by the test
+    suite, and useful as a fallback for enormous mapping sets). *)
+
+(** [sample rng ms] draws one mapping according to the probabilities.
+    Requires total probability ≈ 1. *)
+val sample : Urm_util.Prng.t -> Mapping.t list -> Mapping.t
+
+(** [estimate ?seed ~samples ctx q ms] Monte-Carlo answer estimate: tuple
+    probabilities are sample frequencies.  Evaluation results are cached
+    per distinct source query, so cost is O(distinct queries) evaluations
+    plus O(samples) bookkeeping. *)
+val estimate :
+  ?seed:int -> samples:int -> Ctx.t -> Query.t -> Mapping.t list -> Answer.t
+
+(** [max_deviation ~exact ~estimate] largest |p_exact − p_estimate| over
+    tuples of either answer (θ included). *)
+val max_deviation : exact:Answer.t -> estimate:Answer.t -> float

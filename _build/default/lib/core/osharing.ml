@@ -1,0 +1,39 @@
+open Urm_relalg
+
+type stats = { eunits : int; memo_hits : int; representatives : int }
+
+let run_with_stats ?(strategy = Eunit.Sef) ?seed ?use_memo ?tracer (ctx : Ctx.t) q
+    ms =
+  let reps, rewrite =
+    Urm_util.Timer.time (fun () -> Qsharing.representatives ctx q ms)
+  in
+  let env = Eunit.make_env ?seed ?use_memo ~strategy ctx q in
+  Option.iter (Eunit.set_tracer env) tracer;
+  let answer = Answer.create (Reformulate.output_header q) in
+  let emit = function
+    | Eunit.Tuples (tuples, mass) ->
+      List.iter (fun t -> Answer.add answer t mass) tuples;
+      true
+    | Eunit.Null_answer mass ->
+      Answer.add_null answer mass;
+      true
+  in
+  let (_ : bool), evaluate =
+    Urm_util.Timer.time (fun () -> Eunit.run_qt env (Eunit.init q reps) ~emit)
+  in
+  let ctrs = Eunit.counters env in
+  ( {
+      Report.answer;
+      timings = { Report.rewrite; plan = 0.; evaluate; aggregate = 0. };
+      source_operators = ctrs.Eval.operators;
+      rows_produced = ctrs.Eval.rows_produced;
+      groups = List.length reps;
+    },
+    {
+      eunits = Eunit.eunits_created env;
+      memo_hits = Eunit.memo_hits env;
+      representatives = List.length reps;
+    } )
+
+let run ?strategy ?seed ?use_memo ctx q ms =
+  fst (run_with_stats ?strategy ?seed ?use_memo ctx q ms)

@@ -1,0 +1,32 @@
+(** The o-sharing algorithm (paper §V–§VI, Algorithm 2): interleaves query
+    reformulation and operator execution through the u-trace so that
+    operator results are shared between mappings that agree on the operator
+    being executed, even when they disagree elsewhere. *)
+
+(** [run ?strategy ?seed ?use_memo ctx q ms] evaluates the probabilistic
+    query.  [strategy] (default {!Eunit.Sef}) picks the next operator;
+    [seed] feeds the [Random] strategy; [use_memo] (default [true]) toggles
+    cross-branch operator-result memoisation. *)
+val run :
+  ?strategy:Eunit.strategy ->
+  ?seed:int ->
+  ?use_memo:bool ->
+  Ctx.t ->
+  Query.t ->
+  Mapping.t list ->
+  Report.t
+
+(** Extra run statistics alongside the report. *)
+type stats = { eunits : int; memo_hits : int; representatives : int }
+
+(** [run_with_stats ?tracer …] like {!run}; [tracer] receives one line per
+    u-trace event (see {!Eunit.set_tracer}) — o-sharing's "explain". *)
+val run_with_stats :
+  ?strategy:Eunit.strategy ->
+  ?seed:int ->
+  ?use_memo:bool ->
+  ?tracer:(string -> unit) ->
+  Ctx.t ->
+  Query.t ->
+  Mapping.t list ->
+  Report.t * stats

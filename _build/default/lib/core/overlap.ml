@@ -1,0 +1,35 @@
+let o_ratio = function
+  | [] | [ _ ] -> 1.
+  | ms ->
+    let arr = Array.of_list ms in
+    let n = Array.length arr in
+    let total = ref 0. in
+    let pairs = ref 0 in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        total := !total +. Mapping.o_ratio arr.(i) arr.(j);
+        incr pairs
+      done
+    done;
+    !total /. float_of_int !pairs
+
+let correspondence_frequencies ms =
+  let n = List.length ms in
+  if n = 0 then []
+  else begin
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun m ->
+        List.iter
+          (fun pair ->
+            let c = try Hashtbl.find counts pair with Not_found -> 0 in
+            Hashtbl.replace counts pair (c + 1))
+          m.Mapping.pairs)
+      ms;
+    Hashtbl.fold
+      (fun pair c acc -> (pair, float_of_int c /. float_of_int n) :: acc)
+      counts []
+    |> List.sort (fun (pa, a) (pb, b) ->
+           let c = Float.compare b a in
+           if c <> 0 then c else compare pa pb)
+  end

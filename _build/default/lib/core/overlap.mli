@@ -1,0 +1,13 @@
+(** The o-ratio overlap measure (paper §VIII-B.1): average pairwise
+    |mi ∩ mj| / |mi ∪ mj| over a mapping set.  The high overlap of k-best
+    mappings is the property q-sharing and o-sharing exploit. *)
+
+(** [o_ratio ms] average over all unordered pairs; [1.] for fewer than two
+    mappings. *)
+val o_ratio : Mapping.t list -> float
+
+(** [correspondence_frequencies ms] each distinct correspondence with the
+    fraction of mappings containing it, most frequent first (e.g. the
+    paper's Fig. 3 observation that (cname,pname) appears in 4 of 5
+    mappings). *)
+val correspondence_frequencies : Mapping.t list -> ((string * string) * float) list

@@ -1,0 +1,118 @@
+(* A node at level k branches on the source attribute assigned to the k-th
+   partition attribute; leaves hold buckets.  Buckets preserve insertion
+   order so partitioning is deterministic. *)
+type node = {
+  edges : (string, node) Hashtbl.t;
+  mutable edge_order : string list;  (* reverse insertion order *)
+  mutable bucket : Mapping.t list;  (* reverse insertion order, leaves only *)
+}
+
+let fresh_node () = { edges = Hashtbl.create 4; edge_order = []; bucket = [] }
+
+let label_of m target_attr =
+  match Mapping.source_of m target_attr with Some s -> s | None -> "⊥"
+
+(* The paper's recursive [put]: descend one level per partition attribute,
+   creating edges as needed, and deposit the mapping in the leaf bucket.
+   Levels are label functions (see [levels]). *)
+let rec put node m = function
+  | [] -> node.bucket <- m :: node.bucket
+  | level :: rest ->
+    let label = level m in
+    let child =
+      match Hashtbl.find_opt node.edges label with
+      | Some c -> c
+      | None ->
+        let c = fresh_node () in
+        Hashtbl.add node.edges label c;
+        node.edge_order <- label :: node.edge_order;
+        c
+    in
+    put child m rest
+
+let rec buckets node acc =
+  if node.bucket <> [] then List.rev node.bucket :: acc
+  else
+    List.fold_left
+      (fun acc label -> buckets (Hashtbl.find node.edges label) acc)
+      acc
+      (List.rev node.edge_order)
+
+(* One tree level per referenced target attribute (labelled by its source
+   attribute under the mapping), plus — for aggregate queries — one level
+   per unreferenced alias, labelled by the alias's source-relation cover:
+   that cover is all an unreferenced alias contributes to the source query
+   (its cardinality factor), so labelling a whole level with it avoids
+   splitting partitions over correspondences that cannot change the
+   answer. *)
+let levels target q =
+  let attr_levels =
+    Query.referenced_attrs q
+    |> List.map (Query.qualified q)
+    |> List.sort_uniq String.compare
+    |> List.map (fun qattr -> fun m -> label_of m qattr)
+  in
+  let cover_levels =
+    match q.Query.aggregate with
+    | None -> []
+    | Some _ ->
+      List.filter_map
+        (fun (alias, _) ->
+          if Query.referenced_of_alias q alias <> [] then None
+          else
+            Some
+              (fun m ->
+                Query.needed_attrs target q alias
+                |> List.filter_map (fun ta ->
+                       Mapping.source_of m (Query.qualified q ta))
+                |> List.map (fun s ->
+                       fst (Urm_relalg.Schema.split_qualified s))
+                |> List.sort_uniq String.compare
+                |> String.concat ","))
+        q.Query.aliases
+  in
+  attr_levels @ cover_levels
+
+let partition target q ms =
+  let lvls = levels target q in
+  let root = fresh_node () in
+  List.iter (fun m -> put root m lvls) ms;
+  List.rev (buckets root [])
+
+let partition_naive target q ms =
+  let lvls = levels target q in
+  let key m = String.concat "|" (List.map (fun label -> label m) lvls) in
+  let groups = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun m ->
+      let k = key m in
+      match Hashtbl.find_opt groups k with
+      | Some l -> l := m :: !l
+      | None ->
+        Hashtbl.add groups k (ref [ m ]);
+        order := k :: !order)
+    ms;
+  List.rev_map (fun k -> List.rev !(Hashtbl.find groups k)) !order
+
+let represent partitions =
+  List.map
+    (fun partition ->
+      match partition with
+      | [] -> invalid_arg "Ptree.represent: empty partition"
+      | first :: _ -> Mapping.with_prob first (Mapping.total_prob partition))
+    partitions
+
+let partition_by_labels key ms =
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun m ->
+      let k = key m in
+      match Hashtbl.find_opt groups k with
+      | Some l -> l := m :: !l
+      | None ->
+        Hashtbl.add groups k (ref [ m ]);
+        order := k :: !order)
+    ms;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find groups k))) !order

@@ -1,0 +1,17 @@
+let representatives (ctx : Ctx.t) q ms =
+  Ptree.represent (Ptree.partition ctx.target q ms)
+
+let run (ctx : Ctx.t) q ms =
+  let reps, partition_time =
+    Urm_util.Timer.time (fun () -> representatives ctx q ms)
+  in
+  let report = Basic.run ctx q reps in
+  {
+    report with
+    Report.timings =
+      {
+        report.Report.timings with
+        Report.rewrite = report.Report.timings.Report.rewrite +. partition_time;
+      };
+    groups = List.length reps;
+  }

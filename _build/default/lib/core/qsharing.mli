@@ -1,0 +1,11 @@
+(** The q-sharing algorithm (paper §IV, Algorithm 1): partition the mapping
+    set with the partition tree, pick one representative mapping per
+    partition carrying the partition's probability mass, and run {!Basic}
+    over the representatives.  Unlike e-basic this never rewrites the query
+    through all h mappings. *)
+
+val run : Ctx.t -> Query.t -> Mapping.t list -> Report.t
+
+(** The representative mappings q-sharing would use (exposed for o-sharing,
+    which starts from the same partitioning, and for tests). *)
+val representatives : Ctx.t -> Query.t -> Mapping.t list -> Mapping.t list

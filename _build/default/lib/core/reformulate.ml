@@ -1,0 +1,241 @@
+open Urm_relalg
+
+type body =
+  | Unsatisfiable
+  | Trivial
+  | Expr of Algebra.t
+
+type t = {
+  body : body;
+  outputs : (string * string option) list;
+  aggregate : Query.agg option;
+  grouped : bool;
+  factor_rels : string list;
+}
+
+let output_labels sq = List.map fst sq.outputs
+
+let column_for ~alias ~source_attr =
+  let rel, col = Schema.split_qualified source_attr in
+  alias ^ "@" ^ rel ^ "#" ^ col
+
+let prefix_for alias rel = alias ^ "@" ^ rel
+
+let agg_label = function
+  | Query.Count -> "count"
+  | Query.Sum ta -> "sum(" ^ Query.tattr_to_string ta ^ ")"
+
+let output_header q =
+  match q.Query.aggregate with
+  | Some a ->
+    List.map Query.tattr_to_string q.Query.group_by @ [ agg_label a ]
+  | None -> List.map Query.tattr_to_string (Query.output_attrs q)
+
+let cover_of target q m alias =
+  Query.needed_attrs target q alias
+  |> List.filter_map (fun ta -> Mapping.source_of m (Query.qualified q ta))
+  |> List.map (fun s -> fst (Schema.split_qualified s))
+  |> List.sort_uniq String.compare
+
+let source_query target q m =
+  let source_of ta = Mapping.source_of m (Query.qualified q ta) in
+  let col_of ta =
+    Option.map (fun s -> column_for ~alias:ta.Query.alias ~source_attr:s) (source_of ta)
+  in
+  let source_agg =
+    match q.Query.aggregate with
+    | Some Query.Count -> Some Algebra.Count
+    | Some (Query.Sum ta) -> Option.map (fun c -> Algebra.Sum c) (col_of ta)
+    | None -> None
+  in
+  let outputs =
+    match q.Query.aggregate with
+    | Some a ->
+      List.map (fun ta -> (Query.tattr_to_string ta, col_of ta)) q.Query.group_by
+      @ [ (agg_label a, Option.map Algebra.output_col source_agg) ]
+    | None -> List.map (fun ta -> (Query.tattr_to_string ta, col_of ta)) (Query.output_attrs q)
+  in
+  let grouped = q.Query.group_by <> [] in
+  (* Unreferenced aliases are factored out rather than materialised. *)
+  let referenced, unreferenced =
+    List.partition
+      (fun (alias, _) -> Query.referenced_of_alias q alias <> [])
+      q.Query.aliases
+  in
+  let factor_rels =
+    match q.Query.aggregate with
+    | Some _ ->
+      List.concat_map (fun (alias, _) -> cover_of target q m alias) unreferenced
+    | None -> []
+  in
+  let unsatisfiable =
+    List.exists (fun (ta, _) -> source_of ta = None) q.Query.selections
+    || List.exists
+         (fun (a, b) -> source_of a = None || source_of b = None)
+         q.Query.joins
+    || (match q.Query.aggregate with
+       | Some (Query.Sum ta) -> source_of ta = None
+       | Some Query.Count | None -> false)
+  in
+  if unsatisfiable then
+    { body = Unsatisfiable; outputs; aggregate = q.Query.aggregate; grouped; factor_rels }
+  else begin
+    (* One piece per (alias, covering source relation); the cover of an
+       alias is the set of relations owning its mapped needed attributes
+       (paper §VI-B: minimal source-relation set — minimality is immediate
+       because each source attribute belongs to exactly one relation). *)
+    let alias_pieces (alias, _) =
+      List.map
+        (fun r -> Algebra.Rename (prefix_for alias r, Algebra.Base r))
+        (cover_of target q m alias)
+    in
+    let pieces = List.concat_map alias_pieces referenced in
+    match pieces with
+    | [] -> { body = Trivial; outputs; aggregate = q.Query.aggregate; grouped; factor_rels }
+    | first :: rest ->
+      let from_expr = List.fold_left (fun acc p -> Algebra.Product (acc, p)) first rest in
+      let must_col ta =
+        match col_of ta with
+        | Some c -> c
+        | None -> assert false (* guarded by [unsatisfiable] *)
+      in
+      let sel_preds =
+        List.map (fun (ta, v) -> Pred.eq (must_col ta) v) q.Query.selections
+      in
+      let join_preds =
+        List.map (fun (a, b) -> Pred.eq_cols (must_col a) (must_col b)) q.Query.joins
+      in
+      let pred = Pred.conj (sel_preds @ join_preds) in
+      let filtered =
+        match pred with Pred.True -> from_expr | p -> Algebra.Select (p, from_expr)
+      in
+      let expr =
+        match source_agg with
+        | Some a when grouped ->
+          let keys =
+            List.sort_uniq String.compare (List.filter_map col_of q.Query.group_by)
+          in
+          Algebra.GroupBy (keys, a, filtered)
+        | Some a -> Algebra.Aggregate (a, filtered)
+        | None ->
+          let proj_cols =
+            List.sort_uniq String.compare (List.filter_map snd outputs)
+          in
+          if proj_cols = [] then filtered
+          else
+            (* Answers are sets per mapping; Distinct lets the engine
+               factorise the projection through Cartesian products. *)
+            Algebra.Distinct (Algebra.Project (proj_cols, filtered))
+      in
+      { body = Expr expr; outputs; aggregate = q.Query.aggregate; grouped; factor_rels }
+  end
+
+let key sq =
+  let body_part =
+    match sq.body with
+    | Unsatisfiable -> "<unsat>"
+    | Trivial -> "<trivial>"
+    | Expr e -> Algebra.fingerprint e
+  in
+  let outputs_part =
+    String.concat ";"
+      (List.map
+         (fun (label, col) -> label ^ "=" ^ Option.value ~default:"⊥" col)
+         sq.outputs)
+  in
+  body_part ^ "||" ^ outputs_part ^ "||" ^ String.concat "," sq.factor_rels
+
+let factor cat sq =
+  List.fold_left
+    (fun acc r -> acc * Relation.cardinality (Catalog.find cat r))
+    1 sq.factor_rels
+
+let scale_value factor v =
+  match v with
+  | Value.Int c -> Value.Int (c * factor)
+  | Value.Float s -> Value.Float (s *. float_of_int factor)
+  | Value.Null -> Value.Null
+  | Value.Str _ -> invalid_arg "Reformulate.scale_value: string aggregate"
+
+let null_answer_into acc sq ~factor p =
+  match (sq.aggregate, sq.grouped, sq.body) with
+  (* A grouped aggregate over nothing has no groups: the answer is θ. *)
+  | Some _, true, _ -> Answer.add_null acc p
+  | Some Query.Count, false, Trivial -> Answer.add acc [| Value.Int factor |] p
+  | Some Query.Count, false, _ -> Answer.add acc [| Value.Int 0 |] p
+  | Some (Query.Sum _), false, _ -> Answer.add acc [| Value.Null |] p
+  | None, _, _ -> Answer.add_null acc p
+
+(* Iterate the target tuples of a plain (non-aggregate) evaluated result:
+   the source query ends in Distinct over exactly the mapped output columns
+   and unmapped outputs are a constant Null, so rows map one-to-one onto
+   distinct target tuples (a completely unmapped output list collapses to a
+   single all-Null tuple).  Does nothing on an empty result (θ). *)
+let iter_plain_tuples sq rel ~f =
+  if not (Relation.is_empty rel) then begin
+    let getters =
+      List.map (fun (_, c) -> Option.map (Relation.col_pos rel) c) sq.outputs
+    in
+    if List.for_all (( = ) None) getters then
+      f (Array.make (List.length getters) Value.Null)
+    else
+      Relation.iter
+        (fun row ->
+          f
+            (Array.of_list
+               (List.map (function Some i -> row.(i) | None -> Value.Null) getters)))
+        rel
+  end
+
+let aggregate_tuple sq ~factor rel =
+  match sq.outputs with
+  | [ (_, Some col) ] -> [| scale_value factor (Relation.value rel 0 col) |]
+  | _ -> invalid_arg "Reformulate: bad aggregate outputs"
+
+(* Grouped aggregate result rows: group columns (Null for unmapped grouping
+   attributes), then the aggregate value scaled by the cardinality factor.
+   Rows are distinct by construction (GroupBy keys). *)
+let iter_grouped_tuples sq ~factor rel ~f =
+  let getters =
+    List.map (fun (_, c) -> Option.map (Relation.col_pos rel) c) sq.outputs
+  in
+  let n = List.length getters in
+  Relation.iter
+    (fun row ->
+      let tuple =
+        Array.of_list
+          (List.mapi
+             (fun i g ->
+               let v = match g with Some idx -> row.(idx) | None -> Value.Null in
+               if i = n - 1 then scale_value factor v else v)
+             getters)
+      in
+      f tuple)
+    rel
+
+let answers_into acc sq ~factor rel p =
+  match (sq.aggregate, sq.grouped) with
+  | Some _, true ->
+    if Relation.is_empty rel then Answer.add_null acc p
+    else iter_grouped_tuples sq ~factor rel ~f:(fun tuple -> Answer.add acc tuple p)
+  | Some _, false -> Answer.add acc (aggregate_tuple sq ~factor rel) p
+  | None, _ ->
+    if Relation.is_empty rel then Answer.add_null acc p
+    else iter_plain_tuples sq rel ~f:(fun tuple -> Answer.add acc tuple p)
+
+let result_tuples sq ~factor rel =
+  match (rel, sq.aggregate) with
+  | Some rel, Some _ when sq.grouped ->
+    let out = ref [] in
+    iter_grouped_tuples sq ~factor rel ~f:(fun t -> out := t :: !out);
+    List.rev !out
+  | Some rel, Some _ -> [ aggregate_tuple sq ~factor rel ]
+  | Some rel, None ->
+    let out = ref [] in
+    iter_plain_tuples sq rel ~f:(fun t -> out := t :: !out);
+    List.rev !out
+  | None, Some _ when sq.grouped -> []
+  | None, Some Query.Count ->
+    [ [| Value.Int (match sq.body with Trivial -> factor | _ -> 0) |] ]
+  | None, Some (Query.Sum _) -> [ [| Value.Null |] ]
+  | None, None -> []

@@ -1,0 +1,25 @@
+type timings = {
+  rewrite : float;
+  plan : float;
+  evaluate : float;
+  aggregate : float;
+}
+
+let zero_timings = { rewrite = 0.; plan = 0.; evaluate = 0.; aggregate = 0. }
+let total t = t.rewrite +. t.plan +. t.evaluate +. t.aggregate
+
+type t = {
+  answer : Answer.t;
+  timings : timings;
+  source_operators : int;
+  rows_produced : int;
+  groups : int;
+}
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%d tuples (θ=%.3f) | rewrite %.4fs plan %.4fs eval %.4fs agg %.4fs | %d ops, %d rows, %d groups@]"
+    (Answer.size r.answer)
+    (Answer.null_prob r.answer)
+    r.timings.rewrite r.timings.plan r.timings.evaluate r.timings.aggregate
+    r.source_operators r.rows_produced r.groups

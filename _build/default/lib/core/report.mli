@@ -1,0 +1,26 @@
+(** Instrumented result of running one evaluation algorithm: the answer plus
+    the timing breakdown and operator counts the paper's figures report. *)
+
+type timings = {
+  rewrite : float;  (** query reformulation / partitioning seconds *)
+  plan : float;  (** MQO global-plan generation (e-MQO only) *)
+  evaluate : float;  (** source-operator execution seconds *)
+  aggregate : float;  (** answer-aggregation seconds *)
+}
+
+val zero_timings : timings
+
+(** Wall-clock total. *)
+val total : timings -> float
+
+type t = {
+  answer : Answer.t;
+  timings : timings;
+  source_operators : int;  (** operator executions on the source instance *)
+  rows_produced : int;
+  groups : int;
+      (** distinct source queries / representative mappings / e-units,
+          depending on the algorithm *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,401 @@
+open Urm_relalg
+
+type error = { position : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "SQL error at offset %d: %s" e.position e.message
+
+exception Error of error
+
+let fail position fmt =
+  Format.kasprintf (fun message -> raise (Error { position; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+type token =
+  | Ident of string
+  | Str_lit of string
+  | Int_lit of int
+  | Float_lit of float
+  | Star
+  | Comma
+  | Dot
+  | Eq
+  | Lparen
+  | Rparen
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_and
+  | Kw_as
+  | Kw_count
+  | Kw_sum
+  | Kw_group
+  | Kw_by
+  | Eof
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Str_lit s -> Printf.sprintf "string %S" s
+  | Int_lit i -> Printf.sprintf "integer %d" i
+  | Float_lit f -> Printf.sprintf "float %g" f
+  | Star -> "'*'"
+  | Comma -> "','"
+  | Dot -> "'.'"
+  | Eq -> "'='"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Kw_select -> "SELECT"
+  | Kw_from -> "FROM"
+  | Kw_where -> "WHERE"
+  | Kw_and -> "AND"
+  | Kw_as -> "AS"
+  | Kw_count -> "COUNT"
+  | Kw_sum -> "SUM"
+  | Kw_group -> "GROUP"
+  | Kw_by -> "BY"
+  | Eof -> "end of input"
+
+let keyword_of = function
+  | "select" -> Some Kw_select
+  | "from" -> Some Kw_from
+  | "where" -> Some Kw_where
+  | "and" -> Some Kw_and
+  | "as" -> Some Kw_as
+  | "count" -> Some Kw_count
+  | "sum" -> Some Kw_sum
+  | "group" -> Some Kw_group
+  | "by" -> Some Kw_by
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokens paired with their start offset. *)
+let tokenize input =
+  let n = String.length input in
+  let out = ref [] in
+  let pos = ref 0 in
+  let push tok at = out := (tok, at) :: !out in
+  while !pos < n do
+    let c = input.[!pos] in
+    let at = !pos in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '*' then (push Star at; incr pos)
+    else if c = ',' then (push Comma at; incr pos)
+    else if c = '.' && not (!pos + 1 < n && is_digit input.[!pos + 1]) then
+      (push Dot at; incr pos)
+    else if c = '=' then (push Eq at; incr pos)
+    else if c = '(' then (push Lparen at; incr pos)
+    else if c = ')' then (push Rparen at; incr pos)
+    else if c = '\'' then begin
+      (* string literal; '' escapes a quote *)
+      let buf = Buffer.create 16 in
+      incr pos;
+      let closed = ref false in
+      while not !closed do
+        if !pos >= n then fail at "unterminated string literal"
+        else if input.[!pos] = '\'' then
+          if !pos + 1 < n && input.[!pos + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2
+          end
+          else begin
+            closed := true;
+            incr pos
+          end
+        else begin
+          Buffer.add_char buf input.[!pos];
+          incr pos
+        end
+      done;
+      push (Str_lit (Buffer.contents buf)) at
+    end
+    else if is_digit c || (c = '-' && !pos + 1 < n && is_digit input.[!pos + 1]) then begin
+      let start = !pos in
+      if c = '-' then incr pos;
+      while !pos < n && is_digit input.[!pos] do incr pos done;
+      let is_float = !pos < n && input.[!pos] = '.' in
+      if is_float then begin
+        incr pos;
+        while !pos < n && is_digit input.[!pos] do incr pos done
+      end;
+      let text = String.sub input start (!pos - start) in
+      if is_float then push (Float_lit (float_of_string text)) at
+      else push (Int_lit (int_of_string text)) at
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char input.[!pos] do incr pos done;
+      let text = String.sub input start (!pos - start) in
+      match keyword_of (String.lowercase_ascii text) with
+      | Some kw -> push kw at
+      | None -> push (Ident text) at
+    end
+    else fail at "unexpected character %C" c
+  done;
+  push Eof n;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over the token list. *)
+
+type state = { mutable tokens : (token * int) list }
+
+let peek st = match st.tokens with [] -> (Eof, 0) | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok =
+  let got, at = peek st in
+  if got = tok then advance st
+  else fail at "expected %s but found %s" (token_name tok) (token_name got)
+
+let ident st =
+  match peek st with
+  | Ident name, _ ->
+    advance st;
+    name
+  | got, at -> fail at "expected an identifier but found %s" (token_name got)
+
+(* A column reference: name or alias.name; resolution happens later. *)
+type raw_col = { qualifier : string option; col : string; at : int }
+
+let column st =
+  let at = snd (peek st) in
+  let first = ident st in
+  match peek st with
+  | Dot, _ ->
+    advance st;
+    let second = ident st in
+    { qualifier = Some first; col = second; at }
+  | _ -> { qualifier = None; col = first; at }
+
+type raw_select =
+  | Sel_star
+  | Sel_count
+  | Sel_sum of raw_col
+  | Sel_cols of raw_col list
+
+type raw_cond =
+  | Cond_const of raw_col * Value.t
+  | Cond_cols of raw_col * raw_col
+
+let select_clause st =
+  match peek st with
+  | Star, _ ->
+    advance st;
+    Sel_star
+  | Kw_count, _ ->
+    advance st;
+    expect st Lparen;
+    expect st Star;
+    expect st Rparen;
+    Sel_count
+  | Kw_sum, _ ->
+    advance st;
+    expect st Lparen;
+    let c = column st in
+    expect st Rparen;
+    Sel_sum c
+  | _ ->
+    let rec more acc =
+      let c = column st in
+      match peek st with
+      | Comma, _ ->
+        advance st;
+        more (c :: acc)
+      | _ -> List.rev (c :: acc)
+    in
+    Sel_cols (more [])
+
+let from_clause st =
+  let one () =
+    let at = snd (peek st) in
+    let rel = ident st in
+    match peek st with
+    | Kw_as, _ ->
+      advance st;
+      (ident st, rel, at)
+    | Ident _, _ -> (ident st, rel, at)
+    | _ -> (rel, rel, at)
+  in
+  let rec more acc =
+    let entry = one () in
+    match peek st with
+    | Comma, _ ->
+      advance st;
+      more (entry :: acc)
+    | _ -> List.rev (entry :: acc)
+  in
+  more []
+
+let literal st =
+  match peek st with
+  | Str_lit s, _ ->
+    advance st;
+    Value.Str s
+  | Int_lit i, _ ->
+    advance st;
+    Value.Int i
+  | Float_lit f, _ ->
+    advance st;
+    Value.Float f
+  | got, at -> fail at "expected a literal but found %s" (token_name got)
+
+let where_clause st =
+  let cond () =
+    let lhs = column st in
+    expect st Eq;
+    match peek st with
+    | Ident _, _ -> Cond_cols (lhs, column st)
+    | _ -> Cond_const (lhs, literal st)
+  in
+  let rec more acc =
+    let c = cond () in
+    match peek st with
+    | Kw_and, _ ->
+      advance st;
+      more (c :: acc)
+    | _ -> List.rev (c :: acc)
+  in
+  more []
+
+(* ------------------------------------------------------------------ *)
+(* Resolution against the target schema. *)
+
+let resolve_col target aliases (raw : raw_col) =
+  match raw.qualifier with
+  | Some alias -> begin
+    match List.assoc_opt alias aliases with
+    | None -> fail raw.at "unknown alias %s" alias
+    | Some rel ->
+      let r = Schema.find_rel target rel in
+      if List.exists (fun a -> String.equal a.Schema.aname raw.col) r.Schema.attrs
+      then Query.at alias raw.col
+      else fail raw.at "relation %s has no attribute %s" rel raw.col
+  end
+  | None -> begin
+    let hits =
+      List.filter
+        (fun (_, rel) ->
+          let r = Schema.find_rel target rel in
+          List.exists (fun a -> String.equal a.Schema.aname raw.col) r.Schema.attrs)
+        aliases
+    in
+    match hits with
+    | [ (alias, _) ] -> Query.at alias raw.col
+    | [] -> fail raw.at "no relation in scope has attribute %s" raw.col
+    | _ -> fail raw.at "attribute %s is ambiguous; qualify it with an alias" raw.col
+  end
+
+let parse ~name ~target sql =
+  try
+    let st = { tokens = tokenize sql } in
+    expect st Kw_select;
+    let select = select_clause st in
+    expect st Kw_from;
+    let from = from_clause st in
+    let conds =
+      match peek st with
+      | Kw_where, _ ->
+        advance st;
+        where_clause st
+      | _ -> []
+    in
+    let group_cols =
+      match peek st with
+      | Kw_group, _ ->
+        advance st;
+        expect st Kw_by;
+        let rec more acc =
+          let c = column st in
+          match peek st with
+          | Comma, _ ->
+            advance st;
+            more (c :: acc)
+          | _ -> List.rev (c :: acc)
+        in
+        more []
+      | _ -> []
+    in
+    let tok, at = peek st in
+    if tok <> Eof then fail at "trailing input: %s" (token_name tok);
+    let aliases = List.map (fun (alias, rel, _) -> (alias, rel)) from in
+    List.iter
+      (fun (_, rel, at) ->
+        if not (Schema.mem_rel target rel) then fail at "unknown relation %s" rel)
+      from;
+    let resolve = resolve_col target aliases in
+    let selections, joins =
+      List.fold_left
+        (fun (sels, joins) cond ->
+          match cond with
+          | Cond_const (c, v) -> ((resolve c, v) :: sels, joins)
+          | Cond_cols (a, b) -> (sels, (resolve a, resolve b) :: joins))
+        ([], []) conds
+    in
+    let selections = List.rev selections and joins = List.rev joins in
+    let projection, aggregate =
+      match select with
+      | Sel_star -> (None, None)
+      | Sel_count -> (None, Some Query.Count)
+      | Sel_sum c -> (None, Some (Query.Sum (resolve c)))
+      | Sel_cols cols -> (Some (List.map resolve cols), None)
+    in
+    let group_by = List.map resolve group_cols in
+    match
+      Query.make ~name ~target ~aliases ~selections ~joins ?projection ?aggregate
+        ~group_by ()
+    with
+    | q -> Ok q
+    | exception Invalid_argument msg -> Error { position = 0; message = msg }
+  with Error e -> Error e
+
+let parse_exn ~name ~target sql =
+  match parse ~name ~target sql with
+  | Ok q -> q
+  | Error e -> invalid_arg (Format.asprintf "%a" pp_error e)
+
+(* ------------------------------------------------------------------ *)
+
+let to_sql (q : Query.t) =
+  let buf = Buffer.create 128 in
+  let col ta = Query.tattr_to_string ta in
+  Buffer.add_string buf "SELECT ";
+  (match (q.Query.projection, q.Query.aggregate) with
+  | Some cols, _ -> Buffer.add_string buf (String.concat ", " (List.map col cols))
+  | None, Some Query.Count -> Buffer.add_string buf "COUNT(*)"
+  | None, Some (Query.Sum ta) ->
+    Buffer.add_string buf (Printf.sprintf "SUM(%s)" (col ta))
+  | None, None -> Buffer.add_string buf "*");
+  Buffer.add_string buf " FROM ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (alias, rel) ->
+            if String.equal alias rel then rel else rel ^ " AS " ^ alias)
+          q.Query.aliases));
+  let conds =
+    List.map
+      (fun (ta, v) ->
+        match v with
+        | Value.Str s -> Printf.sprintf "%s = '%s'" (col ta) s
+        | v -> Printf.sprintf "%s = %s" (col ta) (Value.to_string v))
+      q.Query.selections
+    @ List.map (fun (a, b) -> Printf.sprintf "%s = %s" (col a) (col b)) q.Query.joins
+  in
+  if conds <> [] then begin
+    Buffer.add_string buf " WHERE ";
+    Buffer.add_string buf (String.concat " AND " conds)
+  end;
+  if q.Query.group_by <> [] then begin
+    Buffer.add_string buf " GROUP BY ";
+    Buffer.add_string buf (String.concat ", " (List.map col q.Query.group_by))
+  end;
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** A SQL front-end for target queries.
+
+    Covers exactly the query class of the paper's workload (Table III):
+
+    {v
+    SELECT <columns | star | COUNT(star) | SUM(col)>
+    FROM rel [AS alias] {, rel [AS alias]}
+    [WHERE cond {AND cond}]
+    v}
+
+    where a condition is [col = literal] or [col = col], a column is
+    [name] or [alias.name], and literals are single-quoted strings,
+    integers or floats.  [SELECT] of a bare star produces a query without
+    explicit projection (evaluated with the implicit-projection semantics).
+
+    Attribute names without an alias qualifier are resolved against the
+    aliases in scope and must be unambiguous. *)
+
+type error = {
+  position : int;  (** 0-based character offset into the input *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [parse ~name ~target sql] parses and resolves [sql] into a target query.
+    All schema validation of {!Query.make} applies. *)
+val parse :
+  name:string -> target:Urm_relalg.Schema.t -> string -> (Query.t, error) result
+
+(** [parse_exn ~name ~target sql] raises [Invalid_argument] with a rendered
+    error message. *)
+val parse_exn : name:string -> target:Urm_relalg.Schema.t -> string -> Query.t
+
+(** [to_sql q] renders a query back to SQL text ([parse] ∘ [to_sql] is the
+    identity up to formatting). *)
+val to_sql : Query.t -> string

@@ -1,0 +1,67 @@
+open Urm_relalg
+
+type result = {
+  report : Report.t;
+  visited_eunits : int;
+  stopped_early : bool;
+}
+
+let run ?(strategy = Eunit.Sef) ?seed ?use_memo ~tau (ctx : Ctx.t) q ms =
+  if tau <= 0. || tau > 1. then invalid_arg "Threshold.run: tau must be in (0, 1]";
+  let reps, rewrite =
+    Urm_util.Timer.time (fun () -> Qsharing.representatives ctx q ms)
+  in
+  let env = Eunit.make_env ?seed ?use_memo ~strategy ctx q in
+  let eps = 1e-12 in
+  (* Candidate tuples with their accumulated lower bounds.  Tuples whose
+     best possible probability (lb + UB) drops below τ are discarded. *)
+  let table : (Value.t array, float ref) Hashtbl.t = Hashtbl.create 64 in
+  let ub = ref 1.0 in
+  let decide leaf =
+    let mass, tuples =
+      match leaf with
+      | Eunit.Null_answer mass -> (mass, [])
+      | Eunit.Tuples (tuples, mass) -> (mass, tuples)
+    in
+    List.iter
+      (fun t ->
+        match Hashtbl.find_opt table t with
+        | Some r -> r := !r +. mass
+        | None ->
+          (* A new tuple can reach τ only if the remaining mass (which
+             includes this leaf) suffices. *)
+          if !ub >= tau -. eps then Hashtbl.replace table t (ref mass))
+      tuples;
+    ub := !ub -. mass;
+    (* Drop candidates that can no longer qualify. *)
+    let doomed =
+      Hashtbl.fold
+        (fun t r acc -> if !r +. !ub < tau -. eps then t :: acc else acc)
+        table []
+    in
+    List.iter (Hashtbl.remove table) doomed;
+    (* Stop when no unseen tuple can qualify and every tracked candidate is
+       decided (already at τ, since the undecided ones were just dropped or
+       still need future mass). *)
+    !ub < tau -. eps
+    && Hashtbl.fold (fun _ r ok -> ok && !r >= tau -. eps) table true
+  in
+  let finished, evaluate =
+    Urm_util.Timer.time (fun () ->
+        Eunit.run_qt env (Eunit.init q reps) ~emit:(fun leaf -> not (decide leaf)))
+  in
+  let answer = Answer.create (Reformulate.output_header q) in
+  Hashtbl.iter (fun t r -> if !r >= tau -. eps then Answer.add answer t !r) table;
+  let ctrs = Eunit.counters env in
+  {
+    report =
+      {
+        Report.answer;
+        timings = { Report.rewrite; plan = 0.; evaluate; aggregate = 0. };
+        source_operators = ctrs.Eval.operators;
+        rows_produced = ctrs.Eval.rows_produced;
+        groups = List.length reps;
+      };
+    visited_eunits = Eunit.eunits_created env;
+    stopped_early = not finished;
+  }

@@ -1,0 +1,30 @@
+(** Probability-threshold queries: all answers with probability ≥ τ.
+
+    A companion to {!Topk} in the same spirit (the "probability threshold"
+    query class of the uncertain-database literature the paper builds on):
+    the u-trace is pruned with the same lower/upper-bound reasoning —
+    a tuple is {e in} once its accumulated lower bound reaches τ, {e out}
+    once even the whole unvisited mass cannot lift it to τ, and traversal
+    stops as soon as every candidate is decided and no new tuple can still
+    qualify. *)
+
+type result = {
+  report : Report.t;
+      (** [report.answer] holds the qualifying tuples with their
+          accumulated lower-bound probabilities (exact when
+          [stopped_early = false]) *)
+  visited_eunits : int;
+  stopped_early : bool;
+}
+
+(** [run ~tau ctx q ms] with [0 < tau ≤ 1].
+    Raises [Invalid_argument] otherwise. *)
+val run :
+  ?strategy:Eunit.strategy ->
+  ?seed:int ->
+  ?use_memo:bool ->
+  tau:float ->
+  Ctx.t ->
+  Query.t ->
+  Mapping.t list ->
+  result

@@ -1,0 +1,30 @@
+(** Probabilistic top-k queries (paper §VII, Algorithm 4).
+
+    Returns the k answer tuples with the highest probabilities without
+    computing exact probabilities: the u-trace is expanded only until the
+    maintained lower/upper bounds prove the top-k set, pruning the
+    remaining e-units.  θ is probability book-keeping only, never a
+    candidate answer (DESIGN.md, semantics decision 7).
+
+    Reported per-tuple probabilities are the accumulated {e lower bounds}
+    at termination (exact only for mass that was actually visited) — the
+    paper's contract: the user "does not care about the exact probability
+    values". *)
+
+type result = {
+  report : Report.t;
+      (** [report.answer] holds the top-k tuples with their lower-bound
+          probabilities *)
+  visited_eunits : int;
+  stopped_early : bool;
+}
+
+val run :
+  ?strategy:Eunit.strategy ->
+  ?seed:int ->
+  ?use_memo:bool ->
+  k:int ->
+  Ctx.t ->
+  Query.t ->
+  Mapping.t list ->
+  result

@@ -1,0 +1,80 @@
+open Urm_relalg
+
+let relation (ctx : Ctx.t) m target_rel_name =
+  let rel = Schema.find_rel ctx.target target_rel_name in
+  let attrs = List.map (fun a -> a.Schema.aname) rel.Schema.attrs in
+  let mapped =
+    List.filter_map
+      (fun a ->
+        Option.map
+          (fun src -> (a, src))
+          (Mapping.source_of m (Schema.qualify target_rel_name a)))
+      attrs
+  in
+  if mapped = [] then Relation.empty ~cols:attrs
+  else begin
+    (* Cover product with alias-style renames, exactly as reformulation
+       instantiates a target alias. *)
+    let alias = target_rel_name in
+    let covers =
+      List.sort_uniq String.compare
+        (List.map (fun (_, src) -> fst (Schema.split_qualified src)) mapped)
+    in
+    let from_expr =
+      match
+        List.map
+          (fun r -> Algebra.Rename (alias ^ "@" ^ r, Algebra.Base r))
+          covers
+      with
+      | [] -> assert false
+      | first :: rest ->
+        List.fold_left (fun acc p -> Algebra.Product (acc, p)) first rest
+    in
+    let col_of src = Reformulate.column_for ~alias ~source_attr:src in
+    let proj_cols =
+      List.sort_uniq String.compare (List.map (fun (_, src) -> col_of src) mapped)
+    in
+    let result =
+      Eval.eval ctx.catalog
+        (Algebra.Distinct (Algebra.Project (proj_cols, from_expr)))
+    in
+    let getters =
+      List.map
+        (fun a ->
+          match List.assoc_opt a mapped with
+          | Some src -> Some (Relation.col_pos result (col_of src))
+          | None -> None)
+        attrs
+    in
+    let rows =
+      Relation.fold
+        (fun acc row ->
+          Array.of_list
+            (List.map (function Some i -> row.(i) | None -> Value.Null) getters)
+          :: acc)
+        [] result
+    in
+    Relation.create ~cols:attrs (List.rev rows)
+  end
+
+let catalog (ctx : Ctx.t) m =
+  let out = Catalog.create () in
+  List.iter
+    (fun (rel : Schema.rel) ->
+      Catalog.add out rel.Schema.rname (relation ctx m rel.Schema.rname))
+    ctx.target.Schema.rels;
+  out
+
+let expected_cardinalities (ctx : Ctx.t) ms =
+  List.map
+    (fun (rel : Schema.rel) ->
+      let expected =
+        List.fold_left
+          (fun acc m ->
+            acc
+            +. (m.Mapping.prob
+               *. float_of_int (Relation.cardinality (relation ctx m rel.Schema.rname))))
+          0. ms
+      in
+      (rel.Schema.rname, expected))
+    ctx.target.Schema.rels

@@ -1,0 +1,25 @@
+(** Data translation: materialise a target-schema instance through a
+    mapping — the "translating web data" side of data integration the
+    paper's introduction positions itself in ([3]).
+
+    Each target relation is populated from the minimal source-relation
+    cover of its mapped attributes (the same Case-3 construction query
+    reformulation uses): one column per target attribute, [Null] where the
+    mapping has no correspondence, rows deduplicated.  Target relations
+    with no mapped attribute at all are left empty. *)
+
+(** [relation ctx m target_rel] the materialised instance of one target
+    relation under mapping [m].
+    Raises [Not_found] for an unknown relation name. *)
+val relation : Ctx.t -> Mapping.t -> string -> Urm_relalg.Relation.t
+
+(** [catalog ctx m] materialises every target relation into a fresh
+    catalog: a complete (deterministic) target instance for one possible
+    world. *)
+val catalog : Ctx.t -> Mapping.t -> Urm_relalg.Catalog.t
+
+(** [expected_cardinalities ctx ms] per target relation, the expected
+    number of distinct tuples across the mapping distribution:
+    Σ_m Pr(m)·|relation ctx m r| — a cheap summary of what the uncertain
+    matching implies about the target instance. *)
+val expected_cardinalities : Ctx.t -> Mapping.t list -> (string * float) list

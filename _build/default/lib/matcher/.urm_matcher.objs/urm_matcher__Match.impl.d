@@ -1,0 +1,1 @@
+lib/matcher/match.ml: Float Format Hashtbl List Simfun String Synonyms Token Urm_relalg

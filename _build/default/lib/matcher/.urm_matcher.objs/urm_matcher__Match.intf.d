@@ -1,0 +1,1 @@
+lib/matcher/match.mli: Format Urm_relalg

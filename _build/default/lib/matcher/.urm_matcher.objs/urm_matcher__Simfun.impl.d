@@ -1,0 +1,1 @@
+lib/matcher/simfun.ml: Array Hashtbl List String

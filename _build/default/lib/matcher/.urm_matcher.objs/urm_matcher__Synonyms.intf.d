@@ -1,0 +1,1 @@
+lib/matcher/synonyms.mli:

@@ -1,0 +1,1 @@
+lib/matcher/token.ml: Buffer Hashtbl List String Synonyms

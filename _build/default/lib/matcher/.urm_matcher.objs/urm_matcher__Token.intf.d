@@ -1,0 +1,1 @@
+lib/matcher/token.mli:

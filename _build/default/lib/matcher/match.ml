@@ -1,0 +1,90 @@
+type candidate = { src : string; dst : string; score : float }
+
+let pp_candidate ppf c =
+  Format.fprintf ppf "%s ↔ %s (%.3f)" c.src c.dst c.score
+
+let clamp01 x = Float.max 0. (Float.min 1. x)
+
+let canon_tokens name = List.map Synonyms.canon (Token.tokens name)
+
+let token_score a b =
+  let ta = canon_tokens a and tb = canon_tokens b in
+  match (ta, tb) with
+  | [], _ | _, [] -> 0.
+  | _ ->
+    let j = Simfun.jaccard ta tb in
+    let inter =
+      List.length (List.filter (fun t -> List.mem t tb) (List.sort_uniq compare ta))
+    in
+    let overlap =
+      float_of_int inter /. float_of_int (min (List.length (List.sort_uniq compare ta))
+                                            (List.length (List.sort_uniq compare tb)))
+    in
+    (0.5 *. j) +. (0.5 *. overlap)
+
+let squash name =
+  String.lowercase_ascii
+    (String.concat "" (String.split_on_char '_' name))
+
+let char_score a b =
+  let a = squash a and b = squash b in
+  (0.5 *. Simfun.lev_sim a b) +. (0.5 *. Simfun.ngram_sim ~n:3 a b)
+
+let name_score a b = Float.max (token_score a b) (char_score a b)
+
+(* Deterministic noise in [-0.005, 0.005]: makes tied scores distinguishable
+   (as a real matcher's would be) without a stateful PRNG, so results do not
+   depend on pair enumeration order.  Kept of the same order as the context
+   bonus so that the k-best matchings vary across all ambiguous attributes
+   rather than only the very cheapest ties. *)
+let jitter src dst =
+  let h = Hashtbl.hash (src, dst, "urm-jitter") land 0xFFFF in
+  ((float_of_int h /. 65535.) -. 0.5) *. 0.012
+
+let pair_score ~src_rel ~src ~dst_rel ~dst =
+  let name = name_score src dst in
+  let context = token_score src_rel dst_rel in
+  clamp01 ((0.9 *. name) +. (0.02 *. context) +. jitter (src_rel ^ "." ^ src) (dst_rel ^ "." ^ dst))
+
+let candidates ?(threshold = 0.5) ?(slack = 0.2) ?(per_attr = 4) ~source ~target
+    () =
+  let module S = Urm_relalg.Schema in
+  let out = ref [] in
+  List.iter
+    (fun (tr : S.rel) ->
+      List.iter
+        (fun (ta : S.attr) ->
+          let for_attr = ref [] in
+          List.iter
+            (fun (sr : S.rel) ->
+              List.iter
+                (fun (sa : S.attr) ->
+                  let score =
+                    pair_score ~src_rel:sr.S.rname ~src:sa.S.aname
+                      ~dst_rel:tr.S.rname ~dst:ta.S.aname
+                  in
+                  if score >= threshold then
+                    for_attr :=
+                      {
+                        src = S.qualify sr.S.rname sa.S.aname;
+                        dst = S.qualify tr.S.rname ta.S.aname;
+                        score;
+                      }
+                      :: !for_attr)
+                sr.S.attrs)
+            source.S.rels;
+          (* Per-attribute pruning: keep only plausible alternatives. *)
+          let ranked =
+            List.sort (fun a b -> Float.compare b.score a.score) !for_attr
+          in
+          match ranked with
+          | [] -> ()
+          | best :: _ ->
+            List.iteri
+              (fun i c ->
+                if i < per_attr && c.score >= best.score -. slack then
+                  out := c :: !out)
+              ranked)
+        tr.S.attrs)
+    target.S.rels;
+  List.sort (fun a b -> Float.compare b.score a.score) !out

@@ -1,0 +1,39 @@
+(** The matcher proper: scores every (target attribute, source attribute)
+    pair and emits thresholded correspondence candidates.
+
+    This is the COMA++ substitute documented in DESIGN.md: the downstream
+    pipeline (k-best bipartite matching → possible mappings) consumes only
+    the [(src, dst, score)] triples produced here. *)
+
+type candidate = {
+  src : string;  (** qualified source attribute, e.g. ["customer.c_phone"] *)
+  dst : string;  (** qualified target attribute, e.g. ["PO.telephone"] *)
+  score : float;  (** similarity in [\[0,1\]] *)
+}
+
+val pp_candidate : Format.formatter -> candidate -> unit
+
+(** [name_score a b] similarity of two bare attribute names: the better of
+    token-level similarity (synonym-canonicalised, blending Jaccard and
+    overlap coefficient) and character-level similarity (Levenshtein +
+    trigrams). *)
+val name_score : string -> string -> float
+
+(** [pair_score ~src_rel ~src ~dst_rel ~dst] full score for a pair of bare
+    names plus their relation context, including the deterministic per-pair
+    jitter that models matcher noise. *)
+val pair_score : src_rel:string -> src:string -> dst_rel:string -> dst:string -> float
+
+(** [candidates ?threshold ?slack ?per_attr ~source ~target ()] pairs with
+    score ≥ [threshold] (default [0.5]), pruned per target attribute to the
+    [per_attr] best (default [4]) within [slack] (default [0.2]) of that
+    attribute's best score — i.e. only {e plausible alternatives} survive,
+    the way a matcher's top-k candidate lists do.  Best-first. *)
+val candidates :
+  ?threshold:float ->
+  ?slack:float ->
+  ?per_attr:int ->
+  source:Urm_relalg.Schema.t ->
+  target:Urm_relalg.Schema.t ->
+  unit ->
+  candidate list

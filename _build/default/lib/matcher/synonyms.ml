@@ -1,0 +1,62 @@
+let groups =
+  [
+    [ "phone"; "telephone"; "tel"; "mobile"; "fax" ];
+    [ "name"; "clerk"; "person"; "contact" ];
+    [ "invoice"; "bill" ];
+    [ "deliver"; "ship"; "dispatch" ];
+    [ "street"; "road" ];
+    [ "address"; "addr"; "location"; "company" ];
+    [ "num"; "number"; "key"; "id"; "no"; "code" ];
+    [ "item"; "part"; "product"; "article" ];
+    [ "order"; "po"; "purchase" ];
+    [ "quantity"; "qty"; "amount" ];
+    [ "price"; "cost"; "total"; "charge" ];
+    [ "unit"; "each" ];
+    [ "priority"; "urgency" ];
+    [ "status"; "state" ];
+    [ "date"; "day"; "time" ];
+    [ "nation"; "country" ];
+    [ "region"; "area" ];
+    [ "customer"; "client"; "buyer"; "cust" ];
+    [ "supplier"; "vendor"; "seller"; "supp" ];
+    [ "segment"; "market"; "mktsegment"; "category" ];
+    [ "brand"; "make"; "label" ];
+    [ "type"; "kind" ];
+    [ "container"; "package"; "box" ];
+    [ "discount"; "rebate" ];
+    [ "line"; "row" ];
+    [ "avail"; "available"; "stock" ];
+    [ "extended"; "ext" ];
+    [ "retail"; "list" ];
+    [ "size"; "dimension" ];
+    [ "tax"; "duty" ];
+  ]
+
+let table =
+  let h = Hashtbl.create 128 in
+  List.iter
+    (fun group ->
+      match group with
+      | [] -> ()
+      | canon :: _ -> List.iter (fun w -> Hashtbl.replace h w canon) group)
+    groups;
+  h
+
+let canon token =
+  match Hashtbl.find_opt table token with
+  | Some c -> c
+  | None ->
+    (* Plural fallback: "phones" canonicalises like "phone". *)
+    let l = String.length token in
+    if l > 2 && token.[l - 1] = 's' then begin
+      let stem = String.sub token 0 (l - 1) in
+      match Hashtbl.find_opt table stem with Some c -> c | None -> token
+    end
+    else token
+
+let vocabulary =
+  let words = List.concat groups in
+  let extra =
+    [ "supply"; "ship"; "mode"; "flag"; "return"; "receipt"; "commit"; "pack" ]
+  in
+  List.sort_uniq String.compare (words @ extra)

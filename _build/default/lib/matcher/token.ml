@@ -1,0 +1,82 @@
+let stop_tokens = [ "to"; "of"; "the"; "at"; "by"; "for" ]
+
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_alpha c = (c >= 'a' && c <= 'z') || is_upper c
+
+(* Raw splitting on separators, digits and camelCase boundaries. *)
+let raw_split name =
+  let out = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := String.lowercase_ascii (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iteri
+    (fun i c ->
+      if not (is_alpha c) then flush ()
+      else begin
+        if is_upper c && i > 0 && not (is_upper name.[i - 1]) then flush ();
+        Buffer.add_char buf c
+      end)
+    name;
+  flush ();
+  List.rev !out
+
+let split name =
+  match raw_split name with
+  | first :: (_ :: _ as rest)
+    when String.length first <= 2 && String.contains name '_' ->
+    (* TPC-H style relation prefix: c_, ps_, o_, ... *)
+    rest
+  | tokens -> tokens
+
+let decompose vocabulary token =
+  let vocab = List.filter (fun w -> String.length w >= 2) vocabulary in
+  let starts_at s i w =
+    let lw = String.length w in
+    i + lw <= String.length s && String.equal (String.sub s i lw) w
+  in
+  let rec go i acc =
+    if i >= String.length token then Some (List.rev acc)
+    else if i = String.length token - 1 && token.[i] = 's' && acc <> [] then
+      (* Trailing plural: "orders" decomposes like "order". *)
+      Some (List.rev acc)
+    else begin
+      (* Longest vocabulary word starting at position i. *)
+      let best =
+        List.fold_left
+          (fun best w ->
+            if starts_at token i w then
+              match best with
+              | Some b when String.length b >= String.length w -> best
+              | _ -> Some w
+            else best)
+          None vocab
+      in
+      match best with
+      | None -> None
+      | Some w -> go (i + String.length w) (w :: acc)
+    end
+  in
+  match go 0 [] with
+  | Some (_ :: _ :: _ as words) -> words
+  | Some _ | None -> [ token ]
+
+let dedup l =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    l
+
+let tokens name =
+  split name
+  |> List.concat_map (decompose Synonyms.vocabulary)
+  |> List.filter (fun t -> not (List.mem t stop_tokens))
+  |> dedup

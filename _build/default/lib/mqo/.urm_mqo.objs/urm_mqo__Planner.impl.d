@@ -1,0 +1,1 @@
+lib/mqo/planner.ml: Algebra Catalog Eval Float Hashtbl Int List Pred Relation Stats_est String Urm_relalg

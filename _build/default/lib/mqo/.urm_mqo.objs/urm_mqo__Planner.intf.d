@@ -1,0 +1,1 @@
+lib/mqo/planner.mli: Urm_relalg

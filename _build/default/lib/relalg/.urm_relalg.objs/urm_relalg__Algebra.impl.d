@@ -1,0 +1,1 @@
+lib/relalg/algebra.ml: Format Hashtbl List Pred Relation String

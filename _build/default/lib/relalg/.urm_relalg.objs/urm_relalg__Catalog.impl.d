@@ -1,0 +1,1 @@
+lib/relalg/catalog.ml: Array Hashtbl List Relation String Value

@@ -1,0 +1,1 @@
+lib/relalg/catalog.mli: Hashtbl Relation Value

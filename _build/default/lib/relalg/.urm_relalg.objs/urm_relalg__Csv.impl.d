@@ -1,0 +1,1 @@
+lib/relalg/csv.ml: Array Buffer Catalog Filename Float Fun List Printf Relation Schema String Sys Value

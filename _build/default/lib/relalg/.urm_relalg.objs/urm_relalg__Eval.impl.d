@@ -1,0 +1,1 @@
+lib/relalg/eval.ml: Algebra Array Catalog Hashtbl List Pred Relation String Value

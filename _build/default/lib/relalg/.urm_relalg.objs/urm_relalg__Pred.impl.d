@@ -1,0 +1,1 @@
+lib/relalg/pred.ml: Array Format Hashtbl List Relation Stdlib Value

@@ -1,0 +1,1 @@
+lib/relalg/pred.mli: Format Relation Value

@@ -1,0 +1,1 @@
+lib/relalg/schema.ml: Format List String

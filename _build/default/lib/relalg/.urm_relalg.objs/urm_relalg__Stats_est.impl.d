@@ -1,0 +1,1 @@
+lib/relalg/stats_est.ml: Array Catalog Float Hashtbl Int List Option Relation Value

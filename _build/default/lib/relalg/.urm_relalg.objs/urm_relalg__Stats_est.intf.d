@@ -1,0 +1,1 @@
+lib/relalg/stats_est.mli: Catalog Value

@@ -1,0 +1,55 @@
+(** Relational-algebra expressions.
+
+    These trees represent both target queries (over target schemas) and the
+    source queries obtained by reformulation; leaves are either named
+    relations ([Base]), alias instantiations ([Rename]) or materialized
+    intermediate results ([Mat], used by o-sharing's e-units). *)
+
+type agg =
+  | Count
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+type t =
+  | Base of string  (** stored relation, looked up in the catalog *)
+  | Mat of Relation.t  (** already-computed intermediate result *)
+  | Rename of string * t
+      (** [Rename (p, e)]: prefix every column of [e] with ["p#"]; gives a
+          self-joined relation instance its own column namespace *)
+  | Select of Pred.t * t
+  | Project of string list * t
+  | Distinct of t
+  | Product of t * t
+  | Join of Pred.t * t * t
+  | Aggregate of agg * t
+  | GroupBy of string list * agg * t
+      (** [GroupBy (keys, agg, e)]: one output row per distinct key
+          combination, with columns [keys @ [output_col agg]] *)
+
+(** Number of operator nodes ([Select]/[Project]/[Distinct]/[Product]/
+    [Join]/[Aggregate]/[GroupBy]); leaves and [Rename] are free. *)
+val size : t -> int
+
+(** Canonical string form; two expressions are the same source query iff
+    their fingerprints are equal ([Mat] nodes print their relation id).
+    This is what e-basic deduplicates on. *)
+val fingerprint : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Immediate subexpressions, left to right. *)
+val children : t -> t list
+
+(** All subexpressions including [t] itself (pre-order). *)
+val subexpressions : t -> t list
+
+(** [output_col agg] is the column name carried by an aggregate's one-row
+    result (e.g. ["count"], ["sum(x)"]). *)
+val output_col : agg -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,59 @@
+type t = {
+  tables : (string, Relation.t) Hashtbl.t;
+  indexes : (string * string, (Value.t, int list) Hashtbl.t) Hashtbl.t;
+  mutable use_indexes : bool;
+}
+
+let create () =
+  { tables = Hashtbl.create 16; indexes = Hashtbl.create 16; use_indexes = true }
+
+let add t name rel =
+  Hashtbl.replace t.tables name rel;
+  (* Any cached indexes for a replaced relation are stale. *)
+  Hashtbl.iter
+    (fun (r, c) _ -> if String.equal r name then Hashtbl.remove t.indexes (r, c))
+    (Hashtbl.copy t.indexes)
+
+let find t name = Hashtbl.find t.tables name
+let mem t name = Hashtbl.mem t.tables name
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort String.compare
+
+let total_rows t =
+  Hashtbl.fold (fun _ rel acc -> acc + Relation.cardinality rel) t.tables 0
+
+let index t rname col =
+  match Hashtbl.find_opt t.indexes (rname, col) with
+  | Some idx -> idx
+  | None ->
+    let rel = find t rname in
+    let pos = Relation.col_pos rel col in
+    let idx = Hashtbl.create (max 16 (Relation.cardinality rel)) in
+    let i = ref 0 in
+    Relation.iter
+      (fun row ->
+        let v = row.(pos) in
+        let prev = try Hashtbl.find idx v with Not_found -> [] in
+        Hashtbl.replace idx v (!i :: prev);
+        incr i)
+      rel;
+    Hashtbl.replace t.indexes (rname, col) idx;
+    idx
+
+let lookup t rname col v =
+  let rel = find t rname in
+  if t.use_indexes then begin
+    let idx = index t rname col in
+    let rows = try Hashtbl.find idx v with Not_found -> [] in
+    List.rev_map (fun i -> rel.Relation.rows.(i)) rows
+  end
+  else begin
+    let pos = Relation.col_pos rel col in
+    Relation.fold
+      (fun acc row -> if Value.equal row.(pos) v then row :: acc else acc)
+      [] rel
+  end
+
+let set_indexing t b = t.use_indexes <- b
+let indexing_enabled t = t.use_indexes

@@ -1,0 +1,33 @@
+(** A catalog binds relation names to stored relations and owns their hash
+    indexes.  One catalog instance plays the role of the paper's source
+    instance [D]. *)
+
+type t
+
+val create : unit -> t
+val add : t -> string -> Relation.t -> unit
+
+(** [find t name] raises [Not_found] for unknown relations. *)
+val find : t -> string -> Relation.t
+
+val mem : t -> string -> bool
+val names : t -> string list
+
+(** Total stored rows across all relations — the "database size" axis of the
+    paper's Figures 10(b)/11(b). *)
+val total_rows : t -> int
+
+(** [index t rel col] is the hash index value → row indexes for a stored
+    relation's column, built lazily and cached.  Raises [Not_found] for an
+    unknown relation or column. *)
+val index : t -> string -> string -> (Value.t, int list) Hashtbl.t
+
+(** [lookup t rel col v] rows of [rel] whose [col] equals [v], via the
+    index. *)
+val lookup : t -> string -> string -> Value.t -> Value.t array list
+
+(** [set_indexing t false] disables index use ({!lookup} then scans); used by
+    the index ablation bench. *)
+val set_indexing : t -> bool -> unit
+
+val indexing_enabled : t -> bool

@@ -1,0 +1,198 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let force_quote s =
+  "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let field_of_value = function
+  | Value.Null -> ""
+  | Value.Int i -> string_of_int i
+  | Value.Float f ->
+    (* Keep a decimal point so the value re-reads as a float, not an int. *)
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.17g" f
+  | Value.Str s ->
+    (* Quote strings that would otherwise re-read as numbers or Null, so
+       untyped round-trips preserve types. *)
+    if s = "" || int_of_string_opt s <> None || float_of_string_opt s <> None
+    then force_quote s
+    else quote s
+
+let write_string rel =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (String.concat "," (List.map quote (Relation.cols rel)));
+  Buffer.add_char buf '\n';
+  Relation.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (Array.to_list (Array.map field_of_value row)));
+      Buffer.add_char buf '\n')
+    rel;
+  Buffer.contents buf
+
+let write_file path rel =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (write_string rel))
+
+(* ------------------------------------------------------------------ *)
+
+(* Split CSV text into rows of raw fields, honouring quotes. *)
+let parse_rows text =
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let quoted_field = ref false in
+  let pos = ref 0 in
+  let n = String.length text in
+  let flush_field () =
+    fields := (Buffer.contents buf, !quoted_field) :: !fields;
+    Buffer.clear buf;
+    quoted_field := false
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  while !pos < n do
+    let c = text.[!pos] in
+    if c = '"' then begin
+      if Buffer.length buf > 0 && not !quoted_field then
+        failwith "Csv: quote inside unquoted field";
+      quoted_field := true;
+      incr pos;
+      let closed = ref false in
+      while not !closed do
+        if !pos >= n then failwith "Csv: unterminated quoted field"
+        else if text.[!pos] = '"' then
+          if !pos + 1 < n && text.[!pos + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            pos := !pos + 2
+          end
+          else begin
+            closed := true;
+            incr pos
+          end
+        else begin
+          Buffer.add_char buf text.[!pos];
+          incr pos
+        end
+      done
+    end
+    else if c = ',' then begin
+      flush_field ();
+      incr pos
+    end
+    else if c = '\n' then begin
+      flush_row ();
+      incr pos
+    end
+    else if c = '\r' then incr pos
+    else begin
+      Buffer.add_char buf c;
+      incr pos
+    end
+  done;
+  if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  List.rev !rows
+
+let infer_value (text, quoted) =
+  if quoted then Value.Str text
+  else if text = "" then Value.Null
+  else
+    match int_of_string_opt text with
+    | Some i -> Value.Int i
+    | None -> (
+      match float_of_string_opt text with
+      | Some f -> Value.Float f
+      | None -> Value.Str text)
+
+let typed_value ty (text, quoted) =
+  if text = "" && not quoted then Value.Null
+  else
+    match ty with
+    | Schema.TInt -> begin
+      match int_of_string_opt text with
+      | Some i -> Value.Int i
+      | None -> failwith (Printf.sprintf "Csv: %S is not an integer" text)
+    end
+    | Schema.TFloat -> begin
+      match float_of_string_opt text with
+      | Some f -> Value.Float f
+      | None -> failwith (Printf.sprintf "Csv: %S is not a float" text)
+    end
+    | Schema.TStr -> Value.Str text
+
+let read_string ?schema text =
+  match parse_rows text with
+  | [] -> failwith "Csv: empty input"
+  | header :: body ->
+    let cols = List.map fst header in
+    let converters =
+      match schema with
+      | None -> List.map (fun _ -> infer_value) cols
+      | Some rel ->
+        let declared = List.map (fun a -> a.Schema.aname) rel.Schema.attrs in
+        List.iter
+          (fun c ->
+            if not (List.mem c declared) then
+              failwith (Printf.sprintf "Csv: unexpected column %S" c))
+          cols;
+        List.iter
+          (fun d ->
+            if not (List.mem d cols) then
+              failwith (Printf.sprintf "Csv: missing column %S" d))
+          declared;
+        List.map
+          (fun c ->
+            let attr = List.find (fun a -> String.equal a.Schema.aname c) rel.Schema.attrs in
+            typed_value attr.Schema.ty)
+          cols
+    in
+    let rows =
+      List.map
+        (fun fields ->
+          if List.length fields <> List.length cols then
+            failwith "Csv: row arity mismatch";
+          Array.of_list (List.map2 (fun conv f -> conv f) converters fields))
+        body
+    in
+    Relation.create ~cols rows
+
+let read_file ?schema path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> read_string ?schema (really_input_string ic (in_channel_length ic)))
+
+let export_catalog dir cat =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun name -> write_file (Filename.concat dir (name ^ ".csv")) (Catalog.find cat name))
+    (Catalog.names cat)
+
+let import_catalog ~schema dir =
+  let cat = Catalog.create () in
+  List.iter
+    (fun (rel : Schema.rel) ->
+      let path = Filename.concat dir (rel.Schema.rname ^ ".csv") in
+      if not (Sys.file_exists path) then
+        failwith (Printf.sprintf "Csv: missing file %s" path);
+      Catalog.add cat rel.Schema.rname (read_file ~schema:rel path))
+    schema.Schema.rels;
+  cat

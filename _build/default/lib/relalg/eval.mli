@@ -1,0 +1,35 @@
+(** Evaluator for {!Algebra.t} expressions over a {!Catalog.t}.
+
+    The evaluator applies a light logical optimisation before execution —
+    conjunct splitting, selection pushdown through products and joins, and
+    conversion of equi-selections over products into hash joins — and uses
+    catalog hash indexes for equality selections on stored relations.  All
+    query-answering algorithms in the core library share this evaluator, so
+    their relative performance is not an artefact of differing engines.
+
+    The operator counters feed the paper's Table IV ("# source operators
+    executed"). *)
+
+type counters = {
+  mutable operators : int;  (** operator executions *)
+  mutable rows_produced : int;  (** total rows output by all operators *)
+}
+
+val fresh_counters : unit -> counters
+
+(** [eval ?ctrs ?optimize cat e] evaluates [e] against [cat].
+    [optimize] defaults to [true].  Raises [Not_found] for unknown base
+    relations or columns. *)
+val eval : ?ctrs:counters -> ?optimize:bool -> Catalog.t -> Algebra.t -> Relation.t
+
+(** Inferred output header of an expression (without evaluating it). *)
+val cols_of : Catalog.t -> Algebra.t -> string list
+
+(** The optimisation pass alone, exposed for tests and for the MQO planner's
+    cost model. *)
+val optimize : Catalog.t -> Algebra.t -> Algebra.t
+
+(** [nonempty ?ctrs cat e] whether [e] has at least one row, without
+    materialising Cartesian products (a product is non-empty iff both sides
+    are). *)
+val nonempty : ?ctrs:counters -> Catalog.t -> Algebra.t -> bool

@@ -1,0 +1,108 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Cmp of cmp * string * Value.t
+  | CmpCols of cmp * string * string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let eq col v = Cmp (Eq, col, v)
+let eq_cols a b = CmpCols (Eq, a, b)
+
+let conj = function
+  | [] -> True
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let rec conjuncts = function
+  | True -> []
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | (Cmp _ | CmpCols _ | Or _ | Not _) as p -> [ p ]
+
+let columns p =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let add c =
+    if not (Hashtbl.mem seen c) then begin
+      Hashtbl.add seen c ();
+      out := c :: !out
+    end
+  in
+  let rec go = function
+    | True -> ()
+    | Cmp (_, c, _) -> add c
+    | CmpCols (_, a, b) ->
+      add a;
+      add b
+    | And (a, b) | Or (a, b) ->
+      go a;
+      go b
+    | Not a -> go a
+  in
+  go p;
+  List.rev !out
+
+let test cmp a b =
+  let c = Value.compare a b in
+  match cmp with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let compile rel p =
+  let pos c = Relation.col_pos rel c in
+  let rec build = function
+    | True -> fun _ -> true
+    | Cmp (cmp, c, v) ->
+      let i = pos c in
+      fun row -> test cmp row.(i) v
+    | CmpCols (cmp, a, b) ->
+      let i = pos a and j = pos b in
+      fun row -> test cmp row.(i) row.(j)
+    | And (a, b) ->
+      let fa = build a and fb = build b in
+      fun row -> fa row && fb row
+    | Or (a, b) ->
+      let fa = build a and fb = build b in
+      fun row -> fa row || fb row
+    | Not a ->
+      let fa = build a in
+      fun row -> not (fa row)
+  in
+  build p
+
+let eval_on rel p = Relation.filter rel (compile rel p)
+
+let rec rename p f =
+  match p with
+  | True -> True
+  | Cmp (cmp, c, v) -> Cmp (cmp, f c, v)
+  | CmpCols (cmp, a, b) -> CmpCols (cmp, f a, f b)
+  | And (a, b) -> And (rename a f, rename b f)
+  | Or (a, b) -> Or (rename a f, rename b f)
+  | Not a -> Not (rename a f)
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let cmp_str = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Cmp (c, col, v) -> Format.fprintf ppf "%s%s%a" col (cmp_str c) Value.pp v
+  | CmpCols (c, a, b) -> Format.fprintf ppf "%s%s%s" a (cmp_str c) b
+  | And (a, b) -> Format.fprintf ppf "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a ∨ %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "¬%a" pp a
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,47 @@
+(** Row predicates over named columns.
+
+    The paper's workload only needs equality selections and equi-join
+    predicates; comparison operators and boolean connectives are provided so
+    the engine is usable as a general substrate. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Cmp of cmp * string * Value.t  (** column ⊛ constant *)
+  | CmpCols of cmp * string * string  (** column ⊛ column *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(** [eq col v] is [Cmp (Eq, col, v)]. *)
+val eq : string -> Value.t -> t
+
+(** [eq_cols a b] is [CmpCols (Eq, a, b)]. *)
+val eq_cols : string -> string -> t
+
+(** [conj ps] folds a list into nested [And]; [True] for the empty list. *)
+val conj : t list -> t
+
+(** [conjuncts p] decomposes nested [And] into a flat list, dropping [True];
+    inverse of {!conj} up to association. *)
+val conjuncts : t -> t list
+
+(** Columns referenced by the predicate, without duplicates, in first-use
+    order. *)
+val columns : t -> string list
+
+(** [compile rel p] is a fast row test with column positions resolved against
+    [rel]'s header.  Raises [Not_found] if a column is missing. *)
+val compile : Relation.t -> t -> Value.t array -> bool
+
+(** [eval_on rel p] filters [rel] by [p]. *)
+val eval_on : Relation.t -> t -> Relation.t
+
+(** [rename p f] renames every column reference through [f]. *)
+val rename : t -> (string -> string) -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

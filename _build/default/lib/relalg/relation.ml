@@ -1,0 +1,115 @@
+type t = {
+  id : int;
+  cols : string array;
+  positions : (string, int) Hashtbl.t;
+  rows : Value.t array array;
+}
+
+let next_id =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let positions_of cols =
+  let h = Hashtbl.create (Array.length cols) in
+  Array.iteri
+    (fun i c ->
+      if Hashtbl.mem h c then invalid_arg ("Relation: duplicate column " ^ c);
+      Hashtbl.add h c i)
+    cols;
+  h
+
+let of_rows ~cols rows =
+  let cols = Array.of_list cols in
+  let arity = Array.length cols in
+  Array.iter
+    (fun r ->
+      if Array.length r <> arity then invalid_arg "Relation: row arity mismatch")
+    rows;
+  { id = next_id (); cols; positions = positions_of cols; rows }
+
+let create ~cols rows = of_rows ~cols (Array.of_list rows)
+let empty ~cols = of_rows ~cols [||]
+let cardinality t = Array.length t.rows
+let arity t = Array.length t.cols
+let is_empty t = cardinality t = 0
+let cols t = Array.to_list t.cols
+let col_pos t name = Hashtbl.find t.positions name
+let mem_col t name = Hashtbl.mem t.positions name
+let value t row col = t.rows.(row).(col_pos t col)
+
+let filter t f =
+  let rows = Array.of_seq (Seq.filter f (Array.to_seq t.rows)) in
+  { id = next_id (); cols = t.cols; positions = t.positions; rows }
+
+let project t names =
+  let idx = List.map (col_pos t) names in
+  let idx = Array.of_list idx in
+  let rows = Array.map (fun row -> Array.map (fun i -> row.(i)) idx) t.rows in
+  of_rows ~cols:names rows
+
+let distinct t =
+  let seen = Hashtbl.create (max 16 (cardinality t)) in
+  let keep = ref [] in
+  Array.iter
+    (fun row ->
+      if not (Hashtbl.mem seen row) then begin
+        Hashtbl.add seen row ();
+        keep := row :: !keep
+      end)
+    t.rows;
+  of_rows ~cols:(cols t) (Array.of_list (List.rev !keep))
+
+let product a b =
+  let cols = Array.append a.cols b.cols in
+  let na = Array.length a.rows and nb = Array.length b.rows in
+  let rows = Array.make (na * nb) [||] in
+  let k = ref 0 in
+  Array.iter
+    (fun ra ->
+      Array.iter
+        (fun rb ->
+          rows.(!k) <- Array.append ra rb;
+          incr k)
+        b.rows)
+    a.rows;
+  { id = next_id (); cols; positions = positions_of cols; rows }
+
+let rename t f =
+  let cols = Array.map f t.cols in
+  { id = next_id (); cols; positions = positions_of cols; rows = t.rows }
+
+let rename_prefix t p = rename t (fun c -> p ^ "#" ^ c)
+let iter f t = Array.iter f t.rows
+let fold f init t = Array.fold_left f init t.rows
+
+let equal_contents a b =
+  a.cols = b.cols
+  && cardinality a = cardinality b
+  &&
+  let count rel =
+    let h = Hashtbl.create (cardinality rel) in
+    Array.iter
+      (fun row ->
+        let c = try Hashtbl.find h row with Not_found -> 0 in
+        Hashtbl.replace h row (c + 1))
+      rel.rows;
+    h
+  in
+  let ha = count a and hb = count b in
+  Hashtbl.fold
+    (fun row c ok -> ok && (try Hashtbl.find hb row = c with Not_found -> false))
+    ha true
+
+let pp ?(max_rows = 10) ppf t =
+  Format.fprintf ppf "@[<v>%s (%d rows)" (String.concat " | " (cols t))
+    (cardinality t);
+  let n = min max_rows (cardinality t) in
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "@,%s"
+      (String.concat " | "
+         (Array.to_list (Array.map Value.to_string t.rows.(i))))
+  done;
+  if cardinality t > n then Format.fprintf ppf "@,… (%d more)" (cardinality t - n);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,65 @@
+(** In-memory relations: a column header plus an array of rows.
+
+    Every relation carries a process-unique [id]; the o-sharing operator
+    memo table keys on it to recognise "the same intermediate result" without
+    comparing contents. *)
+
+type t = private {
+  id : int;
+  cols : string array;
+  positions : (string, int) Hashtbl.t;
+  rows : Value.t array array;
+}
+
+(** [create ~cols rows] checks that every row has the arity of [cols] and
+    that column names are distinct. *)
+val create : cols:string list -> Value.t array list -> t
+
+(** [of_rows ~cols rows] like {!create} but from an array (no copy). *)
+val of_rows : cols:string list -> Value.t array array -> t
+
+val empty : cols:string list -> t
+val cardinality : t -> int
+val arity : t -> int
+val is_empty : t -> bool
+val cols : t -> string list
+
+(** [col_pos t name] is the index of column [name].
+    Raises [Not_found] when absent. *)
+val col_pos : t -> string -> int
+
+val mem_col : t -> string -> bool
+
+(** [value t row col] is the value at row index [row], column [col]. *)
+val value : t -> int -> string -> Value.t
+
+(** [filter t f] keeps rows satisfying [f]. *)
+val filter : t -> (Value.t array -> bool) -> t
+
+(** [project t cols] reorders/selects columns; duplicate rows are kept (bag
+    semantics).  Raises [Not_found] on unknown columns. *)
+val project : t -> string list -> t
+
+(** [distinct t] removes duplicate rows. *)
+val distinct : t -> t
+
+(** [product a b] Cartesian product; column names must not clash. *)
+val product : t -> t -> t
+
+(** [rename t f] renames every column through [f]. *)
+val rename : t -> (string -> string) -> t
+
+(** [rename_prefix t p] prepends ["p#"] to every column name; used to give
+    each target-alias instantiation of a source relation distinct columns. *)
+val rename_prefix : t -> string -> t
+
+(** [iter f t] applies [f] to each row. *)
+val iter : (Value.t array -> unit) -> t -> unit
+
+val fold : ('a -> Value.t array -> 'a) -> 'a -> t -> 'a
+
+(** [equal_contents a b] ignores ids and compares header and row multisets. *)
+val equal_contents : t -> t -> bool
+
+(** [pp ~max_rows ppf t] prints a header line and up to [max_rows] rows. *)
+val pp : ?max_rows:int -> Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+type column_stats = {
+  rows : int;
+  distinct : int;
+  null_count : int;
+  mcv : (Value.t * int) list;
+}
+
+type t = {
+  columns : (string * string, column_stats) Hashtbl.t;
+  row_counts : (string, int) Hashtbl.t;
+}
+
+let build ?(mcv_size = 16) cat =
+  let columns = Hashtbl.create 64 in
+  let row_counts = Hashtbl.create 16 in
+  List.iter
+    (fun rname ->
+      let rel = Catalog.find cat rname in
+      Hashtbl.replace row_counts rname (Relation.cardinality rel);
+      List.iteri
+        (fun ci col ->
+          let counts : (Value.t, int) Hashtbl.t = Hashtbl.create 256 in
+          let nulls = ref 0 in
+          Relation.iter
+            (fun row ->
+              let v = row.(ci) in
+              if Value.is_null v then incr nulls
+              else
+                Hashtbl.replace counts v
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+            rel;
+          let all = Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts [] in
+          let sorted =
+            List.sort
+              (fun (va, a) (vb, b) ->
+                let c = Int.compare b a in
+                if c <> 0 then c else Value.compare va vb)
+              all
+          in
+          let mcv = List.filteri (fun i _ -> i < mcv_size) sorted in
+          Hashtbl.replace columns (rname, col)
+            {
+              rows = Relation.cardinality rel;
+              distinct = Hashtbl.length counts;
+              null_count = !nulls;
+              mcv;
+            })
+        (Relation.cols rel))
+    (Catalog.names cat);
+  { columns; row_counts }
+
+let column t rel col = Hashtbl.find t.columns (rel, col)
+
+let cardinality t rel =
+  match Hashtbl.find_opt t.row_counts rel with Some n -> n | None -> raise Not_found
+
+let eq_selectivity t rel col v =
+  match Hashtbl.find_opt t.columns (rel, col) with
+  | None -> 0.1 (* unknown column: fall back to the generic guess *)
+  | Some cs ->
+    if cs.rows = 0 then 0.
+    else begin
+      match List.assoc_opt v cs.mcv with
+      | Some freq -> float_of_int freq /. float_of_int cs.rows
+      | None ->
+        let mcv_rows = List.fold_left (fun acc (_, c) -> acc + c) 0 cs.mcv in
+        let rest_rows = cs.rows - mcv_rows - cs.null_count in
+        let rest_distinct = max 1 (cs.distinct - List.length cs.mcv) in
+        Float.max 0.
+          (float_of_int rest_rows
+          /. float_of_int rest_distinct
+          /. float_of_int cs.rows)
+    end
+
+let join_selectivity t rel_a col_a rel_b col_b =
+  let ndv rel col =
+    match Hashtbl.find_opt t.columns (rel, col) with
+    | Some cs -> max 1 cs.distinct
+    | None -> 10
+  in
+  1. /. float_of_int (max (ndv rel_a col_a) (ndv rel_b col_b))

@@ -1,0 +1,34 @@
+(** Column statistics and cardinality estimation for stored relations.
+
+    Per column: row count, number of distinct values, and an equi-width
+    histogram over the most frequent values.  Used by the MQO planner's
+    cost model in place of fixed selectivity guesses; exposed for any other
+    cost-based component. *)
+
+type column_stats = {
+  rows : int;
+  distinct : int;
+  null_count : int;
+  mcv : (Value.t * int) list;  (** most common values with frequencies, descending *)
+}
+
+type t
+
+(** [build cat] collects statistics for every column of every stored
+    relation in [cat] (single full scan per relation). *)
+val build : ?mcv_size:int -> Catalog.t -> t
+
+(** [column t rel col] raises [Not_found] for unknown relation/column. *)
+val column : t -> string -> string -> column_stats
+
+(** [eq_selectivity t rel col v] estimated fraction of rows with
+    [col = v]: the MCV frequency when [v] is tracked, else uniform over the
+    remaining distinct values.  In [\[0, 1\]]. *)
+val eq_selectivity : t -> string -> string -> Value.t -> float
+
+(** [join_selectivity t relA colA relB colB] the classic
+    [1 / max(ndv(A), ndv(B))]. *)
+val join_selectivity : t -> string -> string -> string -> string -> float
+
+(** [cardinality t rel] stored row count. *)
+val cardinality : t -> string -> int

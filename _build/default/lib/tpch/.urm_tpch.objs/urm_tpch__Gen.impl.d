@@ -1,0 +1,1 @@
+lib/tpch/gen.ml: Array Catalog Float List Printf Relation Schema Urm_relalg Urm_util Value Words

@@ -1,0 +1,1 @@
+lib/tpch/gen.mli: Urm_relalg

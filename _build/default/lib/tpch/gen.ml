@@ -1,0 +1,275 @@
+open Urm_relalg
+
+let phone_hot = "335-1736"
+let person_hot = "Mary"
+let company_hot = "ABC"
+let street_hot = "Central"
+let part_hot = "00001"
+let order_hot = "00001"
+let pad5 n = Printf.sprintf "%05d" n
+let default_scale = 0.05
+
+let schema =
+  Schema.make "TPCH"
+    [
+      ("region", [ ("r_regionkey", Schema.TInt); ("r_name", Schema.TStr) ]);
+      ( "nation",
+        [
+          ("n_nationkey", Schema.TInt);
+          ("n_name", Schema.TStr);
+          ("n_regionkey", Schema.TInt);
+        ] );
+      ( "supplier",
+        [
+          ("s_suppkey", Schema.TInt);
+          ("s_name", Schema.TStr);
+          ("s_address", Schema.TStr);
+          ("s_nationkey", Schema.TInt);
+          ("s_phone", Schema.TStr);
+        ] );
+      ( "customer",
+        [
+          ("c_custkey", Schema.TInt);
+          ("c_name", Schema.TStr);
+          ("c_address", Schema.TStr);
+          ("c_nationkey", Schema.TInt);
+          ("c_phone", Schema.TStr);
+          ("c_mktsegment", Schema.TStr);
+        ] );
+      ( "part",
+        [
+          ("p_partkey", Schema.TStr);
+          ("p_name", Schema.TStr);
+          ("p_brand", Schema.TStr);
+          ("p_type", Schema.TStr);
+          ("p_size", Schema.TInt);
+          ("p_retailprice", Schema.TFloat);
+          ("p_container", Schema.TStr);
+        ] );
+      ( "partsupp",
+        [
+          ("ps_partkey", Schema.TStr);
+          ("ps_suppkey", Schema.TInt);
+          ("ps_availqty", Schema.TInt);
+          ("ps_supplycost", Schema.TFloat);
+        ] );
+      ( "orders",
+        [
+          ("o_orderkey", Schema.TStr);
+          ("o_custkey", Schema.TInt);
+          ("o_orderstatus", Schema.TStr);
+          ("o_totalprice", Schema.TFloat);
+          ("o_orderdate", Schema.TStr);
+          ("o_orderpriority", Schema.TInt);
+          ("o_delivername", Schema.TStr);
+          ("o_contactphone", Schema.TStr);
+          ("o_invoicename", Schema.TStr);
+          ("o_deliverstreet", Schema.TStr);
+        ] );
+      ( "lineitem",
+        [
+          ("l_orderkey", Schema.TStr);
+          ("l_partkey", Schema.TStr);
+          ("l_suppkey", Schema.TInt);
+          ("l_linenumber", Schema.TInt);
+          ("l_quantity", Schema.TInt);
+          ("l_extendedprice", Schema.TFloat);
+          ("l_discount", Schema.TFloat);
+          ("l_tax", Schema.TFloat);
+          ("l_status", Schema.TStr);
+        ] );
+    ]
+
+let base_cardinality = function
+  | "region" -> 5
+  | "nation" -> 25
+  | "supplier" -> 100
+  | "customer" -> 1500
+  | "part" -> 2000
+  | "partsupp" -> 8000
+  | "orders" -> 15000
+  | "lineitem" -> 60000 (* emergent: ~4 lineitems per order *)
+  | r -> invalid_arg ("Gen.base_cardinality: " ^ r)
+
+let scaled scale rel = max 1 (int_of_float (Float.round (float_of_int (base_cardinality rel) *. scale)))
+
+(* Value helpers.  Hot constants are planted with fixed probabilities; the
+   resulting selectivities are what give the workload queries non-trivial
+   result sizes at every scale. *)
+
+let phone rng =
+  if Urm_util.Prng.bool rng 0.04 then phone_hot
+  else Printf.sprintf "%03d-%04d" (Urm_util.Prng.in_range rng 100 999)
+         (Urm_util.Prng.in_range rng 1000 9999)
+
+let person rng =
+  if Urm_util.Prng.bool rng 0.05 then person_hot
+  else Urm_util.Prng.pick rng Words.first_names
+
+let address rng =
+  if Urm_util.Prng.bool rng 0.05 then company_hot
+  else
+    Printf.sprintf "%d %s St, %s"
+      (Urm_util.Prng.in_range rng 1 999)
+      (Urm_util.Prng.pick rng Words.streets)
+      (Urm_util.Prng.pick rng Words.cities)
+
+let street rng =
+  if Urm_util.Prng.bool rng 0.08 then street_hot
+  else Urm_util.Prng.pick rng Words.streets
+
+let date rng =
+  Printf.sprintf "%04d-%02d-%02d"
+    (Urm_util.Prng.in_range rng 1992 1998)
+    (Urm_util.Prng.in_range rng 1 12)
+    (Urm_util.Prng.in_range rng 1 28)
+
+let money rng lo hi = Float.round (Urm_util.Prng.float rng *. (hi -. lo) *. 100.) /. 100. +. lo
+
+let generate ?(seed = 42) ~scale () =
+  let master = Urm_util.Prng.create seed in
+  let stream () = Urm_util.Prng.split master in
+  let cat = Catalog.create () in
+  let add name rel = Catalog.add cat name rel in
+  let cols rname =
+    List.map (fun a -> a.Schema.aname) (Schema.find_rel schema rname).Schema.attrs
+  in
+
+  (* region *)
+  let n_region = min (scaled scale "region") (Array.length Words.regions) in
+  let region_rows =
+    List.init n_region (fun i ->
+        [| Value.Int i; Value.Str Words.regions.(i mod Array.length Words.regions) |])
+  in
+  add "region" (Relation.create ~cols:(cols "region") region_rows);
+
+  (* nation *)
+  let rng = stream () in
+  let n_nation = min (scaled scale "nation") (Array.length Words.nations) in
+  let n_nation = max 1 n_nation in
+  let nation_rows =
+    List.init n_nation (fun i ->
+        [|
+          Value.Int i;
+          Value.Str Words.nations.(i mod Array.length Words.nations);
+          Value.Int (Urm_util.Prng.int rng (max 1 n_region));
+        |])
+  in
+  add "nation" (Relation.create ~cols:(cols "nation") nation_rows);
+
+  (* supplier *)
+  let rng = stream () in
+  let n_supp = scaled scale "supplier" in
+  let supplier_rows =
+    List.init n_supp (fun i ->
+        let hero = i = 0 in
+        [|
+          Value.Int (i + 1);
+          Value.Str (if hero then person_hot else person rng);
+          Value.Str (if hero then company_hot else address rng);
+          Value.Int (Urm_util.Prng.int rng n_nation);
+          Value.Str (if hero then phone_hot else phone rng);
+        |])
+  in
+  add "supplier" (Relation.create ~cols:(cols "supplier") supplier_rows);
+
+  (* customer *)
+  let rng = stream () in
+  let n_cust = scaled scale "customer" in
+  let customer_rows =
+    List.init n_cust (fun i ->
+        let hero = i = 0 in
+        [|
+          Value.Int (i + 1);
+          Value.Str (if hero then person_hot else person rng);
+          Value.Str (if hero then company_hot else address rng);
+          Value.Int (Urm_util.Prng.int rng n_nation);
+          Value.Str (if hero then phone_hot else phone rng);
+          Value.Str (Urm_util.Prng.pick rng Words.segments);
+        |])
+  in
+  add "customer" (Relation.create ~cols:(cols "customer") customer_rows);
+
+  (* part *)
+  let rng = stream () in
+  let n_part = scaled scale "part" in
+  let part_rows =
+    List.init n_part (fun i ->
+        [|
+          Value.Str (pad5 (i + 1));
+          Value.Str
+            (Urm_util.Prng.pick rng Words.part_adjectives
+            ^ " "
+            ^ Urm_util.Prng.pick rng Words.part_nouns);
+          Value.Str (Urm_util.Prng.pick rng Words.brands);
+          Value.Str (Urm_util.Prng.pick rng Words.part_types);
+          Value.Int (Urm_util.Prng.in_range rng 1 50);
+          Value.Float (money rng 1. 200.);
+          Value.Str (Urm_util.Prng.pick rng Words.containers);
+        |])
+  in
+  add "part" (Relation.create ~cols:(cols "part") part_rows);
+
+  (* partsupp *)
+  let rng = stream () in
+  let n_ps = scaled scale "partsupp" in
+  let partsupp_rows =
+    List.init n_ps (fun _ ->
+        [|
+          Value.Str (pad5 (Urm_util.Prng.in_range rng 1 n_part));
+          Value.Int (Urm_util.Prng.in_range rng 1 n_supp);
+          Value.Int (Urm_util.Prng.in_range rng 1 9999);
+          Value.Float (money rng 1. 100.);
+        |])
+  in
+  add "partsupp" (Relation.create ~cols:(cols "partsupp") partsupp_rows);
+
+  (* orders + lineitem (lineitems are generated per order) *)
+  let rng_o = stream () in
+  let rng_l = stream () in
+  let n_orders = scaled scale "orders" in
+  let part_zipf = Urm_util.Prng.Zipf.create ~n:n_part ~theta:0.3 in
+  let order_rows = ref [] in
+  let lineitem_rows = ref [] in
+  for i = 1 to n_orders do
+    let okey = pad5 i in
+    (* Order 00001 is a "hero" row carrying every planted constant, so the
+       workload's conjunctive selections (e.g. Q7: orderNum = 00001 ∧
+       deliverTo = Mary ∧ deliverToStreet = Central) have a witness at any
+       scale. *)
+    let hero = i = 1 in
+    order_rows :=
+      [|
+        Value.Str okey;
+        Value.Int (if hero then 1 else Urm_util.Prng.in_range rng_o 1 n_cust);
+        Value.Str (Urm_util.Prng.pick rng_o Words.statuses);
+        Value.Float (money rng_o 100. 50000.);
+        Value.Str (date rng_o);
+        Value.Int (if hero then 2 else Urm_util.Prng.in_range rng_o 1 5);
+        Value.Str (if hero then person_hot else person rng_o);
+        Value.Str (if hero then phone_hot else phone rng_o);
+        Value.Str (if hero then person_hot else person rng_o);
+        Value.Str (if hero then street_hot else street rng_o);
+      |]
+      :: !order_rows;
+    let items = Urm_util.Prng.in_range rng_l 1 7 in
+    for line = 1 to items do
+      let pkey = Urm_util.Prng.Zipf.draw part_zipf rng_l in
+      lineitem_rows :=
+        [|
+          Value.Str okey;
+          Value.Str (pad5 pkey);
+          Value.Int (Urm_util.Prng.in_range rng_l 1 n_supp);
+          Value.Int line;
+          Value.Int (Urm_util.Prng.in_range rng_l 1 50);
+          Value.Float (money rng_l 10. 2000.);
+          Value.Float (float_of_int (Urm_util.Prng.in_range rng_l 0 10) /. 100.);
+          Value.Float (float_of_int (Urm_util.Prng.in_range rng_l 0 8) /. 100.);
+          Value.Str (Urm_util.Prng.pick rng_l Words.statuses);
+        |]
+        :: !lineitem_rows;
+    done
+  done;
+  add "orders" (Relation.create ~cols:(cols "orders") (List.rev !order_rows));
+  add "lineitem" (Relation.create ~cols:(cols "lineitem") (List.rev !lineitem_rows));
+  cat

@@ -1,0 +1,50 @@
+(* Vocabulary pools for the synthetic purchase-order instance.  The planted
+   constants used by the paper's queries (Table III) appear in the relevant
+   pools so that selections are satisfiable with controlled selectivity. *)
+
+let first_names =
+  [| "Mary"; "Alice"; "Bob"; "Cindy"; "David"; "Erin"; "Frank"; "Grace";
+     "Helen"; "Ivan"; "Judy"; "Kevin"; "Linda"; "Mallory"; "Nancy"; "Oscar";
+     "Peggy"; "Quentin"; "Rupert"; "Sybil"; "Trent"; "Ursula"; "Victor";
+     "Wendy"; "Xavier"; "Yvonne"; "Zach" |]
+
+let companies =
+  [| "ABC"; "Acme"; "Globex"; "Initech"; "Umbrella"; "Stark"; "Wayne";
+     "Wonka"; "Hooli"; "Vandelay"; "Cyberdyne"; "Tyrell"; "Monarch";
+     "Sirius"; "Octan" |]
+
+let streets =
+  [| "Central"; "Main"; "Oak"; "Pine"; "Maple"; "Cedar"; "Elm"; "Lake";
+     "Hill"; "Park"; "River"; "Spring"; "North"; "South"; "West" |]
+
+let cities =
+  [| "Hongkong"; "Shenzhen"; "London"; "Paris"; "Berlin"; "Tokyo"; "Sydney";
+     "Toronto"; "Chicago"; "Austin"; "Seattle"; "Lisbon"; "Oslo"; "Dublin" |]
+
+let nations =
+  [| "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA";
+     "FRANCE"; "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN";
+     "JORDAN"; "KENYA"; "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA";
+     "SAUDI ARABIA"; "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES" |]
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let part_adjectives =
+  [| "small"; "large"; "polished"; "rusty"; "shiny"; "matte"; "antique";
+     "modern"; "smooth"; "rough" |]
+
+let part_nouns =
+  [| "bolt"; "gear"; "widget"; "bracket"; "lever"; "spring"; "valve";
+     "washer"; "socket"; "flange"; "bearing"; "coupling" |]
+
+let brands = [| "Brand#1"; "Brand#2"; "Brand#3"; "Brand#4"; "Brand#5" |]
+
+let part_types =
+  [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+
+let containers = [| "SM BOX"; "SM CASE"; "MED BOX"; "LG BOX"; "JUMBO PACK" |]
+
+let segments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let statuses = [| "O"; "F"; "P" |]

@@ -1,0 +1,30 @@
+(** Imperative binary heap, parameterised by an explicit comparison.
+
+    Used by the top-k algorithm (Algorithm 4 of the paper) to maintain
+    candidate answer tuples ordered by lower-bound probability, and by the
+    MQO planner's benefit queue. *)
+
+type 'a t
+
+(** [create cmp] is an empty heap; the minimum according to [cmp] sits at
+    the root (pass a flipped comparison for a max-heap). *)
+val create : ('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+(** [peek t] is the root without removing it.  Raises [Not_found] if empty. *)
+val peek : 'a t -> 'a
+
+(** [pop t] removes and returns the root.  Raises [Not_found] if empty. *)
+val pop : 'a t -> 'a
+
+(** [to_sorted_list t] drains a copy of [t] in ascending order. *)
+val to_sorted_list : 'a t -> 'a list
+
+(** [of_list cmp xs] builds a heap from [xs]. *)
+val of_list : ('a -> 'a -> int) -> 'a list -> 'a t
+
+(** [iter f t] applies [f] to every element in unspecified order. *)
+val iter : ('a -> unit) -> 'a t -> unit

@@ -1,0 +1,34 @@
+(** A minimal JSON representation with emitter and parser — enough to
+    persist mapping sets and experiment results without external
+    dependencies.
+
+    Supports the full JSON grammar except that numbers are represented as
+    OCaml floats (integers round-trip exactly up to 2⁵³) and unicode
+    escapes decode only the ASCII range. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Compact rendering (no insignificant whitespace). *)
+val to_string : t -> string
+
+(** [parse text] or [Error message]. *)
+val parse : string -> (t, string) result
+
+(** [parse_exn text] raises [Failure]. *)
+val parse_exn : string -> t
+
+(** [member key json] field of an object. *)
+val member : string -> t -> t option
+
+(** Coercions; raise [Failure] on shape mismatch. *)
+val to_list : t -> t list
+
+val to_float : t -> float
+val to_int : t -> int
+val to_str : t -> string

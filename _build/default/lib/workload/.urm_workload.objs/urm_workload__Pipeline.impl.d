@@ -1,0 +1,1 @@
+lib/workload/pipeline.ml: Hashtbl String Urm Urm_relalg Urm_tpch

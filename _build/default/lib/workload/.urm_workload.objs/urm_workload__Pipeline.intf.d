@@ -1,0 +1,1 @@
+lib/workload/pipeline.mli: Urm Urm_relalg

@@ -1,0 +1,1 @@
+lib/workload/queries.ml: List Query String Targets Urm Urm_relalg Urm_tpch Value

@@ -1,0 +1,1 @@
+lib/workload/sweeps.ml: List Printf Query Targets Urm Urm_relalg Urm_tpch Value

@@ -1,0 +1,1 @@
+lib/workload/targets.ml: Convert List Schema Urm_relalg Urm_xmlconv Xtree

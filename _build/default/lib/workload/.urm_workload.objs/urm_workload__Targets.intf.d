@@ -1,0 +1,1 @@
+lib/workload/targets.mli: Urm_relalg Urm_xmlconv

@@ -1,0 +1,34 @@
+(** End-to-end experiment pipeline: source instance generation, matching,
+    mapping generation (cached per target schema and h), and context
+    assembly.  One [t] corresponds to one experimental setup (seed +
+    scale). *)
+
+type t
+
+(** [create ?seed ?scale ()] generates the source instance.
+    [scale] defaults to {!Urm_tpch.Gen.default_scale}. *)
+val create : ?seed:int -> ?scale:float -> unit -> t
+
+val scale : t -> float
+val seed : t -> int
+
+(** Total tuples in the source instance (the "database size" axis). *)
+val instance_rows : t -> int
+
+(** [ctx p target] evaluation context for one target schema. *)
+val ctx : t -> Urm_relalg.Schema.t -> Urm.Ctx.t
+
+(** [mappings p target ~h] the h-best possible mappings for [target]
+    (memoised: repeated calls with the same target name and [h] are free;
+    a larger cached [h] also serves smaller requests by prefix). *)
+val mappings : t -> Urm_relalg.Schema.t -> h:int -> Urm.Mapping.t list
+
+(** [run p alg ~query ~target ~h] convenience wrapper: build the context and
+    mappings, then run the algorithm. *)
+val run :
+  t ->
+  Urm.Algorithms.t ->
+  query:Urm.Query.t ->
+  target:Urm_relalg.Schema.t ->
+  h:int ->
+  Urm.Report.t

@@ -1,0 +1,153 @@
+open Urm_relalg
+open Urm
+
+let at = Query.at
+let str v = Value.Str v
+let int v = Value.Int v
+let phone = str Urm_tpch.Gen.phone_hot
+let mary = str Urm_tpch.Gen.person_hot
+let abc = str Urm_tpch.Gen.company_hot
+let central = str Urm_tpch.Gen.street_hot
+let item1 = str Urm_tpch.Gen.part_hot
+let order1 = str Urm_tpch.Gen.order_hot
+
+(* Q1 (Excel): σ_telephone σ_priority=2 σ_invoiceTo=Mary PO *)
+let q1 =
+  Query.make ~name:"Q1" ~target:Targets.excel
+    ~aliases:[ ("PO", "PO") ]
+    ~selections:
+      [
+        (at "PO" "telephone", phone);
+        (at "PO" "priority", int 2);
+        (at "PO" "invoiceTo", mary);
+      ]
+    ()
+
+(* Q2 (Excel): σ_quantity=10 σ_itemNum=00001 (PO × Item) *)
+let q2 =
+  Query.make ~name:"Q2" ~target:Targets.excel
+    ~aliases:[ ("PO", "PO"); ("Item", "Item") ]
+    ~selections:[ (at "Item" "quantity", int 10); (at "Item" "itemNum", item1) ]
+    ()
+
+(* Q3 (Excel): σ_PO.orderNum=Item1.orderNum (σ_telephone σ_Item1.itemNum PO ×
+   Item1) × σ_Item1.orderNum=Item2.orderNum (Item1 × Item2) *)
+let q3 =
+  Query.make ~name:"Q3" ~target:Targets.excel
+    ~aliases:[ ("PO", "PO"); ("Item1", "Item"); ("Item2", "Item") ]
+    ~selections:[ (at "PO" "telephone", phone); (at "Item1" "itemNum", item1) ]
+    ~joins:
+      [
+        (at "PO" "orderNum", at "Item1" "orderNum");
+        (at "Item1" "orderNum", at "Item2" "orderNum");
+      ]
+    ()
+
+(* Q4 (Excel, the default query): σ_Item1.itemNum=00001
+   ((σ_PO1.orderNum=PO2.orderNum PO1 × PO2) ×
+    (σ_Item1.orderNum=Item2.orderNum Item1 × Item2)) *)
+let q4 =
+  Query.make ~name:"Q4" ~target:Targets.excel
+    ~aliases:
+      [ ("PO1", "PO"); ("PO2", "PO"); ("Item1", "Item"); ("Item2", "Item") ]
+    ~selections:[ (at "Item1" "itemNum", item1) ]
+    ~joins:
+      [
+        (at "PO1" "orderNum", at "PO2" "orderNum");
+        (at "Item1" "orderNum", at "Item2" "orderNum");
+      ]
+    ()
+
+(* Q5 (Excel): COUNT(σ_telephone σ_company=ABC σ_invoiceTo=Mary
+   σ_deliverToStreet=Central PO) *)
+let q5 =
+  Query.make ~name:"Q5" ~target:Targets.excel
+    ~aliases:[ ("PO", "PO") ]
+    ~selections:
+      [
+        (at "PO" "telephone", phone);
+        (at "PO" "company", abc);
+        (at "PO" "invoiceTo", mary);
+        (at "PO" "deliverToStreet", central);
+      ]
+    ~aggregate:Query.Count ()
+
+(* Q6 (Noris): σ_telephone σ_invoiceTo=Mary σ_deliverToStreet=Central PO *)
+let q6 =
+  Query.make ~name:"Q6" ~target:Targets.noris
+    ~aliases:[ ("PO", "PO") ]
+    ~selections:
+      [
+        (at "PO" "telephone", phone);
+        (at "PO" "invoiceTo", mary);
+        (at "PO" "deliverToStreet", central);
+      ]
+    ()
+
+(* Q7 (Noris): π_itemNum,unitPrice σ_orderNum=00001 σ_deliverTo=Mary
+   σ_deliverToStreet=Central (PO × Item) *)
+let q7 =
+  Query.make ~name:"Q7" ~target:Targets.noris
+    ~aliases:[ ("PO", "PO"); ("Item", "Item") ]
+    ~selections:
+      [
+        (at "PO" "orderNum", order1);
+        (at "PO" "deliverTo", mary);
+        (at "PO" "deliverToStreet", central);
+      ]
+    ~projection:[ at "Item" "itemNum"; at "Item" "unitPrice" ]
+    ()
+
+(* Q8 (Paragon): σ_billTo=Mary σ_shipToAddress=ABC σ_shipToPhone PO *)
+let q8 =
+  Query.make ~name:"Q8" ~target:Targets.paragon
+    ~aliases:[ ("PO", "PO") ]
+    ~selections:
+      [
+        (at "PO" "billTo", mary);
+        (at "PO" "shipToAddress", abc);
+        (at "PO" "shipToPhone", phone);
+      ]
+    ()
+
+(* Q9 (Paragon): SUM(price)(σ_telephone σ_billToAddress=ABC σ_itemNum=00001
+   (PO × Item)) *)
+let q9 =
+  Query.make ~name:"Q9" ~target:Targets.paragon
+    ~aliases:[ ("PO", "PO"); ("Item", "Item") ]
+    ~selections:
+      [
+        (at "PO" "telephone", phone);
+        (at "PO" "billToAddress", abc);
+        (at "Item" "itemNum", item1);
+      ]
+    ~aggregate:(Query.Sum (at "Item" "price"))
+    ()
+
+(* Q10 (Paragon): COUNT(σ_invoiceTo=Mary σ_billToAddress=ABC (PO × Item)) *)
+let q10 =
+  Query.make ~name:"Q10" ~target:Targets.paragon
+    ~aliases:[ ("PO", "PO"); ("Item", "Item") ]
+    ~selections:
+      [ (at "PO" "invoiceTo", mary); (at "PO" "billToAddress", abc) ]
+    ~aggregate:Query.Count ()
+
+let all =
+  [
+    ("Q1", Targets.excel, q1);
+    ("Q2", Targets.excel, q2);
+    ("Q3", Targets.excel, q3);
+    ("Q4", Targets.excel, q4);
+    ("Q5", Targets.excel, q5);
+    ("Q6", Targets.noris, q6);
+    ("Q7", Targets.noris, q7);
+    ("Q8", Targets.paragon, q8);
+    ("Q9", Targets.paragon, q9);
+    ("Q10", Targets.paragon, q10);
+  ]
+
+let by_name name =
+  let _, schema, q = List.find (fun (n, _, _) -> String.equal n name) all in
+  (schema, q)
+
+let default = by_name "Q4"

@@ -1,0 +1,35 @@
+open Urm_relalg
+open Urm
+
+let selection_pool =
+  [
+    (Query.at "PO" "telephone", Value.Str Urm_tpch.Gen.phone_hot);
+    (Query.at "PO" "priority", Value.Int 2);
+    (Query.at "PO" "invoiceTo", Value.Str Urm_tpch.Gen.person_hot);
+    (Query.at "PO" "deliverToStreet", Value.Str Urm_tpch.Gen.street_hot);
+    (Query.at "PO" "company", Value.Str Urm_tpch.Gen.company_hot);
+  ]
+
+let selections n =
+  if n < 1 || n > List.length selection_pool then
+    invalid_arg "Sweeps.selections: n out of range";
+  Query.make
+    ~name:(Printf.sprintf "sel-%d" n)
+    ~target:Targets.excel
+    ~aliases:[ ("PO", "PO") ]
+    ~selections:(List.filteri (fun i _ -> i < n) selection_pool)
+    ()
+
+let self_joins n =
+  if n < 1 || n > 3 then invalid_arg "Sweeps.self_joins: n out of range";
+  let aliases = List.init (n + 1) (fun i -> (Printf.sprintf "PO%d" (i + 1), "PO")) in
+  let joins =
+    List.init n (fun i ->
+        ( Query.at (Printf.sprintf "PO%d" (i + 1)) "orderNum",
+          Query.at (Printf.sprintf "PO%d" (i + 2)) "orderNum" ))
+  in
+  Query.make
+    ~name:(Printf.sprintf "selfjoin-%d" n)
+    ~target:Targets.excel ~aliases
+    ~selections:[ (Query.at "PO1" "telephone", Value.Str Urm_tpch.Gen.phone_hot) ]
+    ~joins ()

@@ -1,0 +1,14 @@
+(** Parametric query families for the paper's query-size experiments
+    (Fig. 11(d): 1–5 selection operators; Fig. 11(e): 1–3 Cartesian
+    product / self-join operators). *)
+
+(** [selections n] a query with the first [n] (1 ≤ n ≤ 5) of the fixed
+    Excel PO selections: telephone, priority, invoiceTo, deliverToStreet,
+    company. *)
+val selections : int -> Urm.Query.t
+
+(** [self_joins n] a query over [n + 1] PO aliases chained by
+    [orderNum] self-join predicates — [n] Cartesian-product operators in
+    the paper's operator counting — plus one telephone selection to bound
+    intermediate sizes. *)
+val self_joins : int -> Urm.Query.t

@@ -1,0 +1,169 @@
+open Urm_relalg
+open Urm_xmlconv
+
+let s = Schema.TStr
+let i = Schema.TInt
+let f = Schema.TFloat
+let el = Xtree.element
+let one c = (Xtree.One, c)
+let many c = (Xtree.Many, c)
+
+(* Excel: 48 attributes (PO 30 + Item 18). *)
+let excel_xml =
+  el "Excel"
+    ~children:
+      [
+        many
+          (el "PO" ~key:"orderNum"
+             ~attrs:
+               [
+                 ("orderNum", s); ("orderDate", s); ("status", s); ("priority", i);
+                 ("telephone", s); ("fax", s); ("company", s); ("contactName", s);
+                 ("total", f); ("subtotal", f); ("taxAmount", f);
+                 ("shippingCost", f); ("currency", s); ("paymentTerms", s);
+                 ("approvedBy", s); ("createdBy", s); ("remark", s);
+                 ("customerNum", i); ("segment", s); ("region", s);
+               ]
+             ~children:
+               [
+                 one
+                   (el "invoice"
+                      ~attrs:
+                        [
+                          ("to", s); ("street", s); ("city", s); ("zip", s);
+                          ("country", s);
+                        ]);
+                 one
+                   (el "deliverTo" ~text:s
+                      ~attrs:
+                        [ ("street", s); ("city", s); ("zip", s); ("country", s) ]);
+                 many
+                   (el "Item"
+                      ~attrs:
+                        [
+                          ("itemNum", s); ("orderNum", s); ("description", s);
+                          ("quantity", i); ("unitPrice", f); ("extendedPrice", f);
+                          ("discount", f); ("tax", f); ("lineNumber", i);
+                          ("brand", s); ("itemType", s); ("size", i);
+                          ("container", s); ("supplierNum", i); ("availQty", i);
+                          ("shipDate", s); ("receiptDate", s); ("itemStatus", s);
+                        ]);
+               ]);
+      ]
+
+(* Noris: 66 attributes (PO 36 + Item 30). *)
+let noris_xml =
+  el "Noris"
+    ~children:
+      [
+        many
+          (el "PO" ~key:"orderNum"
+             ~attrs:
+               [
+                 ("orderNum", s); ("purchaseDate", s); ("orderStatus", s);
+                 ("urgency", i); ("telephone", s); ("mobile", s);
+                 ("faxNumber", s); ("company", s); ("contactPerson", s);
+                 ("totalAmount", f); ("netAmount", f); ("vatAmount", f);
+                 ("freightCost", f); ("currencyCode", s); ("termsOfPayment", s);
+                 ("approver", s); ("author", s); ("note", s); ("clientNum", i);
+                 ("clientCategory", s); ("clientRegion", s);
+                 ("departmentCode", s); ("projectCode", s); ("warehouseCode", s);
+                 ("carrierName", s); ("trackingNum", s);
+               ]
+             ~children:
+               [
+                 one
+                   (el "invoice"
+                      ~attrs:
+                        [
+                          ("to", s); ("address", s); ("city", s);
+                          ("postcode", s); ("nation", s);
+                        ]);
+                 one
+                   (el "deliverTo" ~text:s
+                      ~attrs:
+                        [
+                          ("street", s); ("city", s); ("postcode", s);
+                          ("nation", s);
+                        ]);
+                 many
+                   (el "Item"
+                      ~attrs:
+                        [
+                          ("itemNum", s); ("orderNum", s); ("itemDescription", s);
+                          ("quantity", i); ("unitPrice", f); ("lineTotal", f);
+                          ("rebate", f); ("vatRate", f); ("positionNum", i);
+                          ("makerBrand", s); ("itemKind", s); ("itemSize", i);
+                          ("packaging", s); ("vendorNum", i); ("stockQty", i);
+                          ("dispatchDate", s); ("arrivalDate", s);
+                          ("lineStatus", s); ("weight", f); ("volume", f);
+                          ("color", s); ("material", s); ("originCountry", s);
+                          ("hsCode", s); ("serialNum", s); ("batchNum", s);
+                          ("warrantyMonths", i); ("returnFlag", s);
+                          ("inspectionFlag", s); ("remarks", s);
+                        ]);
+               ]);
+      ]
+
+(* Paragon: 69 attributes (PO 36 + Item 33). *)
+let paragon_xml =
+  el "Paragon"
+    ~children:
+      [
+        many
+          (el "PO" ~key:"orderNum"
+             ~attrs:
+               [
+                 ("orderNum", s); ("orderDate", s); ("state", s);
+                 ("urgencyLevel", i); ("telephone", s); ("faxNum", s);
+                 ("organisation", s); ("attentionOf", s); ("invoiceTo", s);
+                 ("grandTotal", f); ("merchandiseTotal", f); ("salesTax", f);
+                 ("freightCharge", f); ("currencyType", s); ("paymentMethod", s);
+                 ("authorisedBy", s); ("enteredBy", s);
+                 ("specialInstructions", s); ("accountNum", i);
+                 ("marketSegment", s); ("salesRegion", s); ("divisionCode", s);
+                 ("costCenter", s); ("shippingMethod", s); ("promiseDate", s);
+               ]
+             ~children:
+               [
+                 one
+                   (el "billTo" ~text:s
+                      ~attrs:
+                        [
+                          ("address", s); ("city", s); ("zipcode", s);
+                          ("country", s);
+                        ]);
+                 one
+                   (el "shipTo" ~text:s
+                      ~attrs:
+                        [
+                          ("phone", s); ("address", s); ("city", s);
+                          ("zipcode", s); ("country", s);
+                        ]);
+                 many
+                   (el "Item"
+                      ~attrs:
+                        [
+                          ("itemNum", s); ("orderNum", s);
+                          ("productDescription", s); ("orderQty", i);
+                          ("price", f); ("amount", f); ("discountPct", f);
+                          ("taxPct", f); ("lineSeq", i); ("brandName", s);
+                          ("productType", s); ("productSize", i);
+                          ("packageType", s); ("supplierCode", i);
+                          ("onHandQty", i); ("shipmentDate", s);
+                          ("deliveryDate", s); ("rowStatus", s);
+                          ("unitWeight", f); ("unitVolume", f); ("colorCode", s);
+                          ("materialType", s); ("countryOfOrigin", s);
+                          ("tariffCode", s); ("serialNumber", s);
+                          ("lotNumber", s); ("guaranteePeriod", i);
+                          ("returnable", s); ("qualityFlag", s); ("notes", s);
+                          ("uom", s); ("listPrice", f); ("netPrice", f);
+                        ]);
+               ]);
+      ]
+
+let excel = Convert.inline excel_xml
+let noris = Convert.inline noris_xml
+let paragon = Convert.inline paragon_xml
+let all = [ ("Excel", excel); ("Noris", noris); ("Paragon", paragon) ]
+let by_name name = List.assoc name all

@@ -1,0 +1,26 @@
+(** The three purchase-order target schemas of the paper's evaluation
+    (§VIII-A): Excel (48 attributes), Noris (66) and Paragon (69).
+
+    As in the paper, the schemas are XML documents (they ship with COMA++
+    in XML form) and their relational ([PO], [Item]) versions are derived
+    by shared inlining ({!Urm_xmlconv.Convert.inline}, the paper's [23]) —
+    which is where composed attribute names like [deliverToStreet] and
+    [billToAddress] come from. *)
+
+(** The XML schema trees. *)
+val excel_xml : Urm_xmlconv.Xtree.t
+
+val noris_xml : Urm_xmlconv.Xtree.t
+val paragon_xml : Urm_xmlconv.Xtree.t
+
+(** The inlined relational forms used by the query workload. *)
+val excel : Urm_relalg.Schema.t
+
+val noris : Urm_relalg.Schema.t
+val paragon : Urm_relalg.Schema.t
+
+(** All three, with their paper names. *)
+val all : (string * Urm_relalg.Schema.t) list
+
+(** [by_name "Excel"] raises [Not_found] for unknown names. *)
+val by_name : string -> Urm_relalg.Schema.t

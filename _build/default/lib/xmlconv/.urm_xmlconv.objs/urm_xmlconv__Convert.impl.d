@@ -1,0 +1,1 @@
+lib/xmlconv/convert.ml: Char Hashtbl List Printf Schema String Urm_relalg Xtree

@@ -1,0 +1,1 @@
+lib/xmlconv/convert.mli: Urm_relalg Xtree

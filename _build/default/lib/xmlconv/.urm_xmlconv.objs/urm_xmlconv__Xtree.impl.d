@@ -1,0 +1,1 @@
+lib/xmlconv/xtree.ml: Format List String Urm_relalg

@@ -1,0 +1,1 @@
+lib/xmlconv/xtree.mli: Format Urm_relalg

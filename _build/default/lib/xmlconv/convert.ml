@@ -1,0 +1,130 @@
+open Urm_relalg
+
+let capitalize s =
+  if s = "" then s
+  else String.make 1 (Char.uppercase_ascii s.[0]) ^ String.sub s 1 (String.length s - 1)
+
+let compose base name = if base = "" then name else base ^ capitalize name
+
+(* Attributes contributed to the owning relation by [node] inlined under
+   [base] ("" for the relation element itself): its text content, its
+   attributes, then recursively its One/Opt children. *)
+let rec inline_attrs base (node : Xtree.t) =
+  let own =
+    (match node.Xtree.text with
+    | Some ty when base <> "" -> [ (base, ty) ]
+    | Some ty -> [ (node.Xtree.tag, ty) ]
+    | None -> [])
+    @ List.map (fun (a, ty) -> (compose base a, ty)) node.Xtree.attrs
+  in
+  own
+  @ List.concat_map
+      (fun (mult, child) ->
+        match mult with
+        | Xtree.One | Xtree.Opt ->
+          inline_attrs (compose base child.Xtree.tag) child
+        | Xtree.Many -> [])
+      node.Xtree.children
+
+(* Collect the relations: every Many element, with the key of its nearest
+   Many ancestor appended when absent. *)
+let rec collect_relations inherited (node : Xtree.t) =
+  let attrs = inline_attrs "" node in
+  let attrs =
+    match inherited with
+    | Some (key, ty) when not (List.mem_assoc key attrs) -> attrs @ [ (key, ty) ]
+    | _ -> attrs
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (a, _) ->
+      if Hashtbl.mem seen a then
+        invalid_arg
+          (Printf.sprintf "Convert.inline: composed attribute %s collides in %s" a
+             node.Xtree.tag);
+      Hashtbl.add seen a ())
+    attrs;
+  let own_key =
+    match node.Xtree.key with
+    | Some k -> (
+      match List.assoc_opt k attrs with
+      | Some ty -> Some (k, ty)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Convert.inline: key %s is not an attribute of %s" k
+             node.Xtree.tag))
+    | None -> inherited
+  in
+  let rec nested (n : Xtree.t) =
+    List.concat_map
+      (fun (mult, child) ->
+        match mult with
+        | Xtree.Many -> collect_relations own_key child
+        | Xtree.One | Xtree.Opt -> nested child)
+      n.Xtree.children
+  in
+  (node.Xtree.tag, attrs) :: nested node
+
+let inline (root : Xtree.t) =
+  let rels =
+    List.concat_map
+      (fun (mult, child) ->
+        match mult with
+        | Xtree.Many -> collect_relations None child
+        | Xtree.One | Xtree.Opt ->
+          (* top-level singletons also become relations (of one row) *)
+          collect_relations None child)
+      root.Xtree.children
+  in
+  if rels = [] then invalid_arg "Convert.inline: no relations";
+  Schema.make root.Xtree.tag rels
+
+(* ------------------------------------------------------------------ *)
+
+let nest ~fks (schema : Schema.t) =
+  List.iter
+    (fun (child, parent) ->
+      if not (Schema.mem_rel schema child) then
+        invalid_arg ("Convert.nest: unknown relation " ^ child);
+      if not (Schema.mem_rel schema parent) then
+        invalid_arg ("Convert.nest: unknown relation " ^ parent))
+    fks;
+  (* first-listed parent wins *)
+  let parent_of r =
+    List.assoc_opt r fks
+  in
+  let children_of r =
+    List.filter_map
+      (fun (rel : Schema.rel) ->
+        if parent_of rel.Schema.rname = Some r then Some rel.Schema.rname else None)
+      schema.Schema.rels
+  in
+  let rec build visiting rname =
+    if List.mem rname visiting then
+      invalid_arg ("Convert.nest: nesting cycle through " ^ rname);
+    let rel = Schema.find_rel schema rname in
+    Xtree.element rname
+      ~attrs:(List.map (fun a -> (a.Schema.aname, a.Schema.ty)) rel.Schema.attrs)
+      ~children:
+        (List.map
+           (fun c -> (Xtree.Many, build (rname :: visiting) c))
+           (children_of rname))
+  in
+  let roots =
+    List.filter
+      (fun (rel : Schema.rel) -> parent_of rel.Schema.rname = None)
+      schema.Schema.rels
+  in
+  let tree =
+    Xtree.element schema.Schema.sname
+      ~children:
+        (List.map (fun (rel : Schema.rel) -> (Xtree.Many, build [] rel.Schema.rname)) roots)
+  in
+  (* A relation unreachable from any root means the fk graph has a cycle. *)
+  let placed = Xtree.tags tree in
+  List.iter
+    (fun (rel : Schema.rel) ->
+      if not (List.mem rel.Schema.rname placed) then
+        invalid_arg ("Convert.nest: nesting cycle through " ^ rel.Schema.rname))
+    schema.Schema.rels;
+  tree

@@ -1,0 +1,33 @@
+(** Schema conversions between the relational and XML worlds.
+
+    {2 XML → relational (shared inlining, [23])}
+
+    Every [Many] element becomes a relation.  [One]/[Opt] children inline
+    into their owner with composed camelCase names — element [deliverTo]
+    with attribute [street] inlines as [deliverToStreet], its text content
+    as [deliverTo] — which is exactly how the purchase-order target
+    schemas' attribute vocabulary arises from their XML form.  A nested
+    [Many] element becomes a child relation and inherits the key attribute
+    of its nearest [Many] ancestor (appended last when not already
+    declared).
+
+    {2 Relational → XML (NeT/CoT-style nesting, [22])}
+
+    Relations nest along declared foreign keys (each relation under at most
+    one parent); parent-less relations hang off a synthetic document
+    root. *)
+
+(** [inline root] converts an XML schema tree to a relational schema named
+    after [root]'s tag.  [root] itself is the document node: each of its
+    [Many] children (and their nested [Many] descendants) becomes a
+    relation.  Raises [Invalid_argument] if no relation would result or a
+    composed attribute name collides. *)
+val inline : Xtree.t -> Urm_relalg.Schema.t
+
+(** [nest ~fks schema] converts a relational schema to an XML tree.
+    [fks] is a list of [(child_relation, parent_relation)]; each child
+    nests (with [Many] multiplicity) under its first-listed parent.
+    Relations without a parent become [Many] children of the synthetic
+    root (tagged with the schema name).
+    Raises [Invalid_argument] on unknown relations or nesting cycles. *)
+val nest : fks:(string * string) list -> Urm_relalg.Schema.t -> Xtree.t

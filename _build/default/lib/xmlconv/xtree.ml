@@ -1,0 +1,45 @@
+type mult = One | Opt | Many
+
+type t = {
+  tag : string;
+  text : Urm_relalg.Schema.ty option;
+  key : string option;
+  attrs : (string * Urm_relalg.Schema.ty) list;
+  children : (mult * t) list;
+}
+
+let element ?text ?key ?(attrs = []) ?(children = []) tag =
+  { tag; text; key; attrs; children }
+
+let rec leaf_count t =
+  (match t.text with Some _ -> 1 | None -> 0)
+  + List.length t.attrs
+  + List.fold_left (fun acc (_, c) -> acc + leaf_count c) 0 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun acc (_, c) -> max acc (depth c)) 0 t.children
+
+let rec tags t = t.tag :: List.concat_map (fun (_, c) -> tags c) t.children
+
+let mult_str = function One -> "" | Opt -> "?" | Many -> "*"
+
+let ty_str = function
+  | Urm_relalg.Schema.TInt -> "int"
+  | Urm_relalg.Schema.TFloat -> "float"
+  | Urm_relalg.Schema.TStr -> "string"
+
+let rec pp_indent ppf indent t =
+  Format.fprintf ppf "%s%s" indent t.tag;
+  (match t.text with Some ty -> Format.fprintf ppf " : %s" (ty_str ty) | None -> ());
+  (match t.key with Some k -> Format.fprintf ppf " [key=%s]" k | None -> ());
+  if t.attrs <> [] then
+    Format.fprintf ppf " {%s}"
+      (String.concat ", "
+         (List.map (fun (a, ty) -> a ^ ":" ^ ty_str ty) t.attrs));
+  List.iter
+    (fun (m, c) ->
+      Format.pp_print_newline ppf ();
+      pp_indent ppf (indent ^ "  " ^ mult_str m) c)
+    t.children
+
+let pp ppf t = pp_indent ppf "" t

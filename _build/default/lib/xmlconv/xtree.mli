@@ -1,0 +1,40 @@
+(** XML schema trees.
+
+    The paper's matching pipeline crosses the XML/relational border twice
+    (§VIII-A): the relational TPC-H schema is converted to XML for COMA++
+    ([22], NeT & CoT) and the XML target schemas are converted to relations
+    ([23], Shanmugasundaram et al.).  This module is the shared tree
+    representation; {!Convert} implements both directions. *)
+
+type mult =
+  | One  (** exactly one occurrence *)
+  | Opt  (** zero or one *)
+  | Many  (** zero or more — becomes its own relation under inlining *)
+
+type t = {
+  tag : string;
+  text : Urm_relalg.Schema.ty option;  (** typed text content, if any *)
+  key : string option;  (** the attribute that identifies an occurrence *)
+  attrs : (string * Urm_relalg.Schema.ty) list;
+  children : (mult * t) list;
+}
+
+(** [element ?text ?key ?attrs ?children tag] *)
+val element :
+  ?text:Urm_relalg.Schema.ty ->
+  ?key:string ->
+  ?attrs:(string * Urm_relalg.Schema.ty) list ->
+  ?children:(mult * t) list ->
+  string ->
+  t
+
+(** Total number of typed leaves (attributes + text nodes) in the tree. *)
+val leaf_count : t -> int
+
+(** Depth of the tree (a single element is 1). *)
+val depth : t -> int
+
+(** All element tags, pre-order. *)
+val tags : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_bipartite.ml: Alcotest Array Float Hungarian List Murty Printf QCheck QCheck_alcotest Urm_bipartite

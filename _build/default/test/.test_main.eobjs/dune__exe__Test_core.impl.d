@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Algebra Array Catalog Float Format List Printf QCheck QCheck_alcotest Relation Schema String Urm Urm_matcher Urm_relalg Urm_util Value

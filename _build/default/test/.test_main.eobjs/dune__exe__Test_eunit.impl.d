@@ -1,0 +1,1 @@
+test/test_eunit.ml: Alcotest Catalog Eval List Relation Schema String Urm Urm_relalg Value

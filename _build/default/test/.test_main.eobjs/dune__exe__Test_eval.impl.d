@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Algebra Array Catalog Eval List Pred QCheck QCheck_alcotest Relation Stats_est Urm_mqo Urm_relalg Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Catalog Csv Filename Float Hashtbl List Option Printf QCheck QCheck_alcotest Relation Schema Set Sys Urm Urm_relalg Urm_tpch Urm_util Value

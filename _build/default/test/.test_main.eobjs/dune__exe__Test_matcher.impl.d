@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest List Match QCheck QCheck_alcotest Simfun Synonyms Token Urm_matcher Urm_relalg Urm_tpch

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Format List String Sys Urm Urm_matcher Urm_relalg Urm_tpch Urm_util Urm_workload

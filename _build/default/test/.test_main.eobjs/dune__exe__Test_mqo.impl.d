@@ -1,0 +1,1 @@
+test/test_mqo.ml: Alcotest Algebra Catalog Eval List Pred QCheck QCheck_alcotest Relation Urm_mqo Urm_relalg Value

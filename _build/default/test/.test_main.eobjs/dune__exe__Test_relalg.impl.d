@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Algebra Catalog Eval List Pred QCheck QCheck_alcotest Relation Schema Urm_relalg Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Catalog List QCheck QCheck_alcotest Relation Schema String Urm Urm_relalg Urm_workload Value

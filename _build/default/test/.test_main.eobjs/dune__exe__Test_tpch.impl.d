@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Array Catalog Float Hashtbl Lazy List Pred Relation Schema Urm_relalg Urm_tpch Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Heap List Prng QCheck QCheck_alcotest Stats Urm_util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Lazy List Printf QCheck QCheck_alcotest Urm Urm_relalg Urm_tpch Urm_workload

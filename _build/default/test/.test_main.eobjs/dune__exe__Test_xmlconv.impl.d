@@ -1,0 +1,1 @@
+test/test_xmlconv.ml: Alcotest Convert Format List Schema String Urm_relalg Urm_tpch Urm_workload Urm_xmlconv Xtree

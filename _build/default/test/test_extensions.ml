@@ -1,0 +1,514 @@
+(* Compound (set-operator) queries, threshold queries, CSV and JSON. *)
+open Urm_relalg
+
+let s v = Value.Str v
+let i v = Value.Int v
+
+(* The same fixture as test_core: the paper's running example. *)
+let source =
+  Schema.make "S"
+    [
+      ( "Customer",
+        [
+          ("cid", Schema.TInt); ("cname", Schema.TStr); ("ophone", Schema.TStr);
+          ("hphone", Schema.TStr); ("mobile", Schema.TStr); ("oaddr", Schema.TStr);
+          ("haddr", Schema.TStr); ("nid", Schema.TInt);
+        ] );
+    ]
+
+let target =
+  Schema.make "T"
+    [
+      ( "Person",
+        [
+          ("pname", Schema.TStr); ("phone", Schema.TStr); ("addr", Schema.TStr);
+          ("nation", Schema.TStr); ("gender", Schema.TStr);
+        ] );
+    ]
+
+let catalog () =
+  let cat = Catalog.create () in
+  Catalog.add cat "Customer"
+    (Relation.create
+       ~cols:[ "cid"; "cname"; "ophone"; "hphone"; "mobile"; "oaddr"; "haddr"; "nid" ]
+       [
+         [| i 1; s "Alice"; s "123"; s "789"; s "555"; s "aaa"; s "hk"; i 1 |];
+         [| i 2; s "Bob"; s "456"; s "123"; s "556"; s "bbb"; s "hk"; i 1 |];
+         [| i 3; s "Cindy"; s "456"; s "789"; s "557"; s "aaa"; s "aaa"; i 2 |];
+       ]);
+  cat
+
+let ctx () = Urm.Ctx.make ~catalog:(catalog ()) ~source ~target
+
+let mk id prob pairs = Urm.Mapping.make ~id ~prob ~score:prob pairs
+
+let mappings () =
+  [
+    mk 0 0.3
+      [ ("Person.pname", "Customer.cname"); ("Person.phone", "Customer.ophone");
+        ("Person.addr", "Customer.oaddr") ];
+    mk 1 0.2
+      [ ("Person.pname", "Customer.cname"); ("Person.phone", "Customer.ophone");
+        ("Person.addr", "Customer.oaddr"); ("Person.gender", "Customer.nid") ];
+    mk 2 0.2
+      [ ("Person.pname", "Customer.cname"); ("Person.phone", "Customer.ophone");
+        ("Person.addr", "Customer.haddr") ];
+    mk 3 0.2
+      [ ("Person.pname", "Customer.cname"); ("Person.phone", "Customer.hphone");
+        ("Person.addr", "Customer.haddr") ];
+    mk 4 0.1
+      [ ("Person.pname", "Customer.mobile"); ("Person.phone", "Customer.ophone");
+        ("Person.addr", "Customer.haddr") ];
+  ]
+
+let phone_where_addr addr =
+  Urm.Query.make ~name:("q" ^ addr) ~target
+    ~aliases:[ ("Person", "Person") ]
+    ~selections:[ (Urm.Query.at "Person" "addr", s addr) ]
+    ~projection:[ Urm.Query.at "Person" "phone" ]
+    ()
+
+(* Reference implementation of compound semantics: evaluate each member per
+   mapping via basic and combine per-mapping tuple sets. *)
+let compound_reference ctx c ms =
+  let members = Urm.Compound.leaves c in
+  let acc = Urm.Answer.create (List.hd members |> fun q -> Urm.Reformulate.output_header q) in
+  List.iter
+    (fun m ->
+      let set_of q =
+        let a = (Urm.Basic.run ctx q [ Urm.Mapping.with_prob m 1.0 ]).Urm.Report.answer in
+        List.filter_map
+          (fun (t, p) -> if p > 0.5 then Some t else None)
+          (Urm.Answer.to_list a)
+      in
+      let module SS = Set.Make (struct
+        type t = Value.t array
+
+        let compare a b = compare (Array.to_list a) (Array.to_list b)
+      end) in
+      let rec go = function
+        | Urm.Compound.Query q -> SS.of_list (set_of q)
+        | Urm.Compound.Union (a, b) -> SS.union (go a) (go b)
+        | Urm.Compound.Intersect (a, b) -> SS.inter (go a) (go b)
+        | Urm.Compound.Except (a, b) -> SS.diff (go a) (go b)
+      in
+      let set = go c in
+      if SS.is_empty set then Urm.Answer.add_null acc m.Urm.Mapping.prob
+      else SS.iter (fun t -> Urm.Answer.add acc t m.Urm.Mapping.prob) set)
+    ms;
+  acc
+
+let check_compound c =
+  let ctx = ctx () in
+  let ms = mappings () in
+  let fast = (Urm.Compound.run ctx c ms).Urm.Report.answer in
+  let slow = compound_reference ctx c ms in
+  if not (Urm.Answer.equal ~eps:1e-9 fast slow) then
+    Alcotest.failf "compound mismatch:@.fast %a@.ref %a" Urm.Answer.pp fast
+      Urm.Answer.pp slow
+
+let test_compound_union () =
+  check_compound
+    (Urm.Compound.Union
+       (Urm.Compound.Query (phone_where_addr "aaa"), Urm.Compound.Query (phone_where_addr "hk")))
+
+let test_compound_intersect () =
+  check_compound
+    (Urm.Compound.Intersect
+       (Urm.Compound.Query (phone_where_addr "aaa"), Urm.Compound.Query (phone_where_addr "hk")))
+
+let test_compound_except () =
+  check_compound
+    (Urm.Compound.Except
+       (Urm.Compound.Query (phone_where_addr "aaa"), Urm.Compound.Query (phone_where_addr "hk")));
+  check_compound
+    (Urm.Compound.Except
+       (Urm.Compound.Query (phone_where_addr "hk"), Urm.Compound.Query (phone_where_addr "aaa")))
+
+let test_compound_nested () =
+  check_compound
+    (Urm.Compound.Union
+       ( Urm.Compound.Except
+           (Urm.Compound.Query (phone_where_addr "hk"), Urm.Compound.Query (phone_where_addr "aaa")),
+         Urm.Compound.Intersect
+           (Urm.Compound.Query (phone_where_addr "aaa"), Urm.Compound.Query (phone_where_addr "bbb"))
+       ))
+
+let test_compound_with_aggregates () =
+  (* set operations over COUNT answers: values are arity-1 tuples *)
+  let count_where addr =
+    Urm.Query.make ~name:("c" ^ addr) ~target
+      ~aliases:[ ("Person", "Person") ]
+      ~selections:[ (Urm.Query.at "Person" "addr", s addr) ]
+      ~aggregate:Urm.Query.Count ()
+  in
+  check_compound
+    (Urm.Compound.Union (Query (count_where "aaa"), Query (count_where "hk")));
+  check_compound
+    (Urm.Compound.Intersect (Query (count_where "aaa"), Query (count_where "hk")))
+
+let test_compound_single_is_plain () =
+  let ctx = ctx () in
+  let ms = mappings () in
+  let q = phone_where_addr "aaa" in
+  let via_compound = (Urm.Compound.run ctx (Urm.Compound.Query q) ms).Urm.Report.answer in
+  let direct = (Urm.Basic.run ctx q ms).Urm.Report.answer in
+  Alcotest.(check bool) "same" true (Urm.Answer.equal via_compound direct)
+
+let test_compound_arity_mismatch () =
+  let q1 = phone_where_addr "aaa" in
+  let q2 =
+    Urm.Query.make ~name:"two" ~target
+      ~aliases:[ ("Person", "Person") ]
+      ~projection:[ Urm.Query.at "Person" "phone"; Urm.Query.at "Person" "pname" ]
+      ()
+  in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Compound.validate: two has arity 2, expected 1") (fun () ->
+      ignore (Urm.Compound.run (ctx ()) (Urm.Compound.Union (Query q1, Query q2)) (mappings ())))
+
+(* ------------------------------------------------------------------ *)
+(* Threshold queries *)
+
+let test_threshold_matches_exact () =
+  let ctx = ctx () in
+  let ms = mappings () in
+  let q = phone_where_addr "aaa" in
+  let full = (Urm.Basic.run ctx q ms).Urm.Report.answer in
+  List.iter
+    (fun tau ->
+      let r = Urm.Threshold.run ~tau ctx q ms in
+      let got = Urm.Answer.to_list r.Urm.Threshold.report.Urm.Report.answer in
+      let expected =
+        List.filter (fun (_, p) -> p >= tau -. 1e-9) (Urm.Answer.to_list full)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "tau=%.2f count" tau)
+        (List.length expected) (List.length got);
+      List.iter
+        (fun (t, lb) ->
+          let exact = Urm.Answer.prob_of full t in
+          Alcotest.(check bool) "lb ≤ exact" true (lb <= exact +. 1e-9);
+          Alcotest.(check bool) "qualifies" true (exact >= tau -. 1e-9))
+        got)
+    [ 0.1; 0.3; 0.5; 0.8; 1.0 ]
+
+let test_threshold_invalid_tau () =
+  Alcotest.check_raises "tau=0"
+    (Invalid_argument "Threshold.run: tau must be in (0, 1]") (fun () ->
+      ignore (Urm.Threshold.run ~tau:0. (ctx ()) (phone_where_addr "aaa") (mappings ())))
+
+let test_threshold_exact_probs_when_finished () =
+  let ctx = ctx () in
+  let ms = mappings () in
+  let q = phone_where_addr "aaa" in
+  let r = Urm.Threshold.run ~tau:0.1 ctx q ms in
+  if not r.Urm.Threshold.stopped_early then begin
+    let full = (Urm.Basic.run ctx q ms).Urm.Report.answer in
+    List.iter
+      (fun (t, lb) ->
+        Alcotest.(check (float 1e-9)) "exact" (Urm.Answer.prob_of full t) lb)
+      (Urm.Answer.to_list r.Urm.Threshold.report.Urm.Report.answer)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let test_csv_roundtrip_untyped () =
+  let rel =
+    Relation.create ~cols:[ "a"; "b"; "c" ]
+      [
+        [| i 1; s "plain"; Value.Float 1.5 |];
+        [| i 2; s "with,comma"; Value.Null |];
+        [| i 3; s "with\"quote"; Value.Float (-0.25) |];
+        [| i 4; s "123"; Value.Float 2. |];
+        [| i 5; s ""; Value.Null |];
+      ]
+  in
+  let back = Csv.read_string (Csv.write_string rel) in
+  Alcotest.(check bool) "roundtrip" true (Relation.equal_contents rel back)
+
+let test_csv_typed () =
+  let rel_schema =
+    { Schema.rname = "r";
+      attrs =
+        [
+          { Schema.aname = "k"; ty = Schema.TInt };
+          { Schema.aname = "name"; ty = Schema.TStr };
+          { Schema.aname = "w"; ty = Schema.TFloat };
+        ];
+    }
+  in
+  let text = "k,name,w\n1,42,2.5\n2,,0.5\n" in
+  let rel = Csv.read_string ~schema:rel_schema text in
+  Alcotest.(check bool) "string stays string" true
+    (Value.equal (Relation.value rel 0 "name") (s "42"));
+  Alcotest.(check bool) "int" true (Value.equal (Relation.value rel 0 "k") (i 1));
+  Alcotest.(check bool) "empty is null" true (Value.is_null (Relation.value rel 1 "name"))
+
+let test_csv_errors () =
+  (match Csv.read_string "a,b\n1\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "arity mismatch accepted");
+  match Csv.read_string "a\n\"unterminated\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unterminated quote accepted"
+
+let test_csv_catalog_roundtrip () =
+  let dir = Filename.temp_file "urm" "" in
+  Sys.remove dir;
+  let cat = Urm_tpch.Gen.generate ~seed:3 ~scale:0.005 () in
+  Csv.export_catalog dir cat;
+  let back = Csv.import_catalog ~schema:Urm_tpch.Gen.schema dir in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " identical") true
+        (Relation.equal_contents (Catalog.find cat name) (Catalog.find back name)))
+    (Catalog.names cat)
+
+(* ------------------------------------------------------------------ *)
+(* JSON + mapping persistence *)
+
+let test_json_roundtrip () =
+  let module J = Urm_util.Json in
+  let j =
+    J.Obj
+      [
+        ("a", J.Arr [ J.Num 1.; J.Num (-2.5); J.Null; J.Bool true ]);
+        ("s", J.Str "quote\" slash\\ newline\n");
+        ("nested", J.Obj [ ("x", J.Arr []) ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (J.parse_exn (J.to_string j) = j)
+
+let test_json_parse_errors () =
+  let module J = Urm_util.Json in
+  List.iter
+    (fun text ->
+      match J.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" text)
+    [ "{"; "[1,"; "\"unterminated"; "nul"; "1 2"; "{\"a\" 1}" ]
+
+let test_json_accessors () =
+  let module J = Urm_util.Json in
+  let j = J.parse_exn {|{"xs":[1,2,3],"name":"n"}|} in
+  Alcotest.(check int) "member list" 3
+    (List.length (J.to_list (Option.get (J.member "xs" j))));
+  Alcotest.(check string) "member str" "n" (J.to_str (Option.get (J.member "name" j)));
+  Alcotest.(check bool) "missing member" true (J.member "zzz" j = None)
+
+let test_mapping_io_roundtrip () =
+  let ms = mappings () in
+  let back = Urm.Mapping_io.of_json (Urm.Mapping_io.to_json ms) in
+  Alcotest.(check int) "count" (List.length ms) (List.length back);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "pairs" true (Urm.Mapping.same_correspondences a b);
+      Alcotest.(check (float 1e-12)) "prob" a.Urm.Mapping.prob b.Urm.Mapping.prob;
+      Alcotest.(check int) "id" a.Urm.Mapping.id b.Urm.Mapping.id)
+    ms back
+
+let test_mapping_io_file () =
+  let path = Filename.temp_file "urm" ".json" in
+  let ms = mappings () in
+  Urm.Mapping_io.save path ms;
+  let back = Urm.Mapping_io.load path in
+  Sys.remove path;
+  Alcotest.(check int) "count" (List.length ms) (List.length back)
+
+let test_mapping_io_rejects_garbage () =
+  (match Urm.Mapping_io.of_json "[{\"id\":0}]" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "missing fields accepted");
+  match Urm.Mapping_io.of_json "not json" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "garbage accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Data translation *)
+
+let test_translate_relation () =
+  let ctx = ctx () in
+  let m = List.hd (mappings ()) in
+  (* m0 maps pname←cname, phone←ophone, addr←oaddr *)
+  let person = Urm.Translate.relation ctx m "Person" in
+  Alcotest.(check (list string)) "target header"
+    [ "pname"; "phone"; "addr"; "nation"; "gender" ]
+    (Relation.cols person);
+  Alcotest.(check int) "three customers" 3 (Relation.cardinality person);
+  Alcotest.(check bool) "values translated" true
+    (Relation.fold
+       (fun acc row -> acc || Value.equal row.(0) (s "Alice"))
+       false person);
+  (* unmapped attributes are Null *)
+  Relation.iter
+    (fun row -> Alcotest.(check bool) "nation null" true (Value.is_null row.(3)))
+    person
+
+let test_translate_catalog_and_expectation () =
+  let ctx = ctx () in
+  let ms = mappings () in
+  let cat = Urm.Translate.catalog ctx (List.hd ms) in
+  Alcotest.(check bool) "Person present" true (Catalog.mem cat "Person");
+  let expected = Urm.Translate.expected_cardinalities ctx ms in
+  let person_exp = List.assoc "Person" expected in
+  (* every mapping yields 3 distinct person rows *)
+  Alcotest.(check (float 1e-9)) "expected card" 3.0 person_exp
+
+let test_translate_unmapped_relation_empty () =
+  let ctx = ctx () in
+  let m = Urm.Mapping.make ~id:9 ~prob:1. ~score:1. [ ("Person.phone", "Customer.ophone") ] in
+  (* no Order.* correspondences → would-be empty relation *)
+  let person = Urm.Translate.relation ctx m "Person" in
+  Alcotest.(check bool) "person non-empty" true (Relation.cardinality person > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo validation + lineage *)
+
+let test_montecarlo_close_to_exact () =
+  let ctx = ctx () in
+  let ms = mappings () in
+  let q = phone_where_addr "aaa" in
+  let exact = (Urm.Basic.run ctx q ms).Urm.Report.answer in
+  let estimate = Urm.Montecarlo.estimate ~seed:5 ~samples:20000 ctx q ms in
+  let dev = Urm.Montecarlo.max_deviation ~exact ~estimate in
+  (* max binomial std-dev at p=0.5, n=20000 ≈ 0.0035; allow 5σ *)
+  if dev > 0.02 then Alcotest.failf "MC deviation %.4f too large" dev
+
+let test_montecarlo_sampler_distribution () =
+  let rng = Urm_util.Prng.create 3 in
+  let ms = mappings () in
+  let counts = Hashtbl.create 8 in
+  let n = 50000 in
+  for _ = 1 to n do
+    let m = Urm.Montecarlo.sample rng ms in
+    Hashtbl.replace counts m.Urm.Mapping.id
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts m.Urm.Mapping.id))
+  done;
+  List.iter
+    (fun m ->
+      let freq =
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts m.Urm.Mapping.id))
+        /. float_of_int n
+      in
+      if abs_float (freq -. m.Urm.Mapping.prob) > 0.01 then
+        Alcotest.failf "mapping %d sampled at %.3f, prob %.3f" m.Urm.Mapping.id freq
+          m.Urm.Mapping.prob)
+    ms
+
+let test_lineage () =
+  let ctx = ctx () in
+  let ms = mappings () in
+  let q = phone_where_addr "aaa" in
+  let lin = Urm.Lineage.run ctx q ms in
+  (* probabilities match basic *)
+  let exact = (Urm.Basic.run ctx q ms).Urm.Report.answer in
+  List.iter
+    (fun e ->
+      Alcotest.(check (float 1e-9)) "prob" (Urm.Answer.prob_of exact e.Urm.Lineage.tuple)
+        e.Urm.Lineage.prob;
+      (* support mass = probability *)
+      let mass =
+        List.fold_left
+          (fun acc id ->
+            acc +. (List.find (fun m -> m.Urm.Mapping.id = id) ms).Urm.Mapping.prob)
+          0. e.Urm.Lineage.support
+      in
+      Alcotest.(check (float 1e-9)) "support mass" e.Urm.Lineage.prob mass)
+    lin.Urm.Lineage.entries;
+  (* the paper's example: 123 is supported exactly by m0 and m1 *)
+  Alcotest.(check (list int)) "support of 123" [ 0; 1 ]
+    (Urm.Lineage.support_of lin [| s "123" |]);
+  Alcotest.(check (list int)) "support of 456" [ 0; 1; 2; 4 ]
+    (Urm.Lineage.support_of lin [| s "456" |]);
+  Alcotest.(check (list int)) "support of 789" [ 3 ]
+    (Urm.Lineage.support_of lin [| s "789" |]);
+  Alcotest.(check (list int)) "no support for junk" []
+    (Urm.Lineage.support_of lin [| s "zzz" |])
+
+let qcheck_json_roundtrip =
+  let module J = Urm_util.Json in
+  let open QCheck.Gen in
+  let rec gen depth =
+    if depth = 0 then
+      oneof
+        [
+          return J.Null;
+          map (fun b -> J.Bool b) bool;
+          map (fun i -> J.Num (float_of_int i)) (-1000 -- 1000);
+          map (fun s -> J.Str s) (string_size ~gen:printable (0 -- 12));
+        ]
+    else
+      oneof
+        [
+          gen 0;
+          map (fun l -> J.Arr l) (list_size (0 -- 4) (gen (depth - 1)));
+          map
+            (fun kvs ->
+              (* distinct keys so structural equality round-trips *)
+              let _, fields =
+                List.fold_left
+                  (fun (seen, acc) (k, v) ->
+                    if List.mem k seen then (seen, acc) else (k :: seen, (k, v) :: acc))
+                  ([], []) kvs
+              in
+              J.Obj (List.rev fields))
+            (list_size (0 -- 4)
+               (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 6)) (gen (depth - 1))));
+        ]
+  in
+  QCheck.Test.make ~name:"json roundtrip" ~count:200 (QCheck.make (gen 3))
+    (fun j -> J.parse_exn (J.to_string j) = j)
+
+let qcheck_csv_roundtrip =
+  let open QCheck.Gen in
+  let value =
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) (-1000 -- 1000);
+        map (fun s -> Value.Str s) (string_size ~gen:printable (0 -- 10));
+        map (fun f -> Value.Float (Float.round (f *. 100.) /. 100.)) (float_bound_inclusive 100.);
+      ]
+  in
+  let gen =
+    1 -- 4 >>= fun arity ->
+    list_size (0 -- 8) (array_size (return arity) value) >|= fun rows ->
+    let cols = List.init arity (fun i -> Printf.sprintf "c%d" i) in
+    Relation.create ~cols rows
+  in
+  QCheck.Test.make ~name:"csv roundtrip" ~count:100 (QCheck.make gen) (fun rel ->
+      Relation.equal_contents rel (Csv.read_string (Csv.write_string rel)))
+
+let suite =
+  [
+    Alcotest.test_case "compound union" `Quick test_compound_union;
+    Alcotest.test_case "compound intersect" `Quick test_compound_intersect;
+    Alcotest.test_case "compound except" `Quick test_compound_except;
+    Alcotest.test_case "compound nested" `Quick test_compound_nested;
+    Alcotest.test_case "compound with aggregates" `Quick test_compound_with_aggregates;
+    Alcotest.test_case "compound single = plain" `Quick test_compound_single_is_plain;
+    Alcotest.test_case "compound arity mismatch" `Quick test_compound_arity_mismatch;
+    Alcotest.test_case "threshold matches exact" `Quick test_threshold_matches_exact;
+    Alcotest.test_case "threshold invalid tau" `Quick test_threshold_invalid_tau;
+    Alcotest.test_case "threshold exact when finished" `Quick test_threshold_exact_probs_when_finished;
+    Alcotest.test_case "csv roundtrip untyped" `Quick test_csv_roundtrip_untyped;
+    Alcotest.test_case "csv typed" `Quick test_csv_typed;
+    Alcotest.test_case "csv errors" `Quick test_csv_errors;
+    Alcotest.test_case "csv catalog roundtrip" `Quick test_csv_catalog_roundtrip;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "mapping io roundtrip" `Quick test_mapping_io_roundtrip;
+    Alcotest.test_case "mapping io file" `Quick test_mapping_io_file;
+    Alcotest.test_case "mapping io rejects garbage" `Quick test_mapping_io_rejects_garbage;
+    Alcotest.test_case "translate relation" `Quick test_translate_relation;
+    Alcotest.test_case "translate catalog + expectation" `Quick test_translate_catalog_and_expectation;
+    Alcotest.test_case "translate partial mapping" `Quick test_translate_unmapped_relation_empty;
+    Alcotest.test_case "monte-carlo close to exact" `Quick test_montecarlo_close_to_exact;
+    Alcotest.test_case "monte-carlo sampler" `Quick test_montecarlo_sampler_distribution;
+    Alcotest.test_case "lineage" `Quick test_lineage;
+    QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_csv_roundtrip;
+  ]

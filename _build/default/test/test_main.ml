@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "urm"
+    [
+      ("util", Test_util.suite);
+      ("relalg", Test_relalg.suite);
+      ("eval", Test_eval.suite);
+      ("tpch", Test_tpch.suite);
+      ("matcher", Test_matcher.suite);
+      ("bipartite", Test_bipartite.suite);
+      ("mqo", Test_mqo.suite);
+      ("core", Test_core.suite);
+      ("sql", Test_sql.suite);
+      ("extensions", Test_extensions.suite);
+      ("eunit", Test_eunit.suite);
+      ("misc", Test_misc.suite);
+      ("xmlconv", Test_xmlconv.suite);
+      ("workload", Test_workload.suite);
+    ]

@@ -1,0 +1,129 @@
+open Urm_matcher
+
+let test_levenshtein () =
+  Alcotest.(check int) "kitten/sitting" 3 (Simfun.levenshtein "kitten" "sitting");
+  Alcotest.(check int) "identical" 0 (Simfun.levenshtein "phone" "phone");
+  Alcotest.(check int) "empty" 5 (Simfun.levenshtein "" "phone")
+
+let test_lev_sim () =
+  Alcotest.(check (float 1e-9)) "identical" 1. (Simfun.lev_sim "abc" "abc");
+  Alcotest.(check (float 1e-9)) "disjoint" 0. (Simfun.lev_sim "abc" "xyz");
+  Alcotest.(check (float 1e-9)) "both empty" 1. (Simfun.lev_sim "" "")
+
+let test_ngram_sim () =
+  Alcotest.(check (float 1e-9)) "identical" 1. (Simfun.ngram_sim ~n:3 "phone" "phone");
+  Alcotest.(check bool) "related > unrelated" true
+    (Simfun.ngram_sim ~n:3 "telephone" "phone" > Simfun.ngram_sim ~n:3 "telephone" "status")
+
+let test_tokenize_camel () =
+  Alcotest.(check (list string)) "camelCase" [ "invoice" ] (Token.tokens "invoiceTo");
+  Alcotest.(check (list string)) "three words" [ "deliver"; "street" ]
+    (Token.tokens "deliverToStreet");
+  Alcotest.(check (list string)) "item num" [ "item"; "num" ] (Token.tokens "itemNum")
+
+let test_tokenize_tpch_prefix () =
+  Alcotest.(check (list string)) "c_phone" [ "phone" ] (Token.tokens "c_phone");
+  Alcotest.(check (list string)) "ps_availqty" [ "avail"; "qty" ] (Token.tokens "ps_availqty");
+  Alcotest.(check (list string)) "o_orderpriority" [ "order"; "priority" ]
+    (Token.tokens "o_orderpriority")
+
+let test_decompose () =
+  Alcotest.(check (list string)) "compound" [ "order"; "key" ]
+    (Token.decompose Synonyms.vocabulary "orderkey");
+  Alcotest.(check (list string)) "no decomposition" [ "zzqqx" ]
+    (Token.decompose Synonyms.vocabulary "zzqqx")
+
+let test_synonyms () =
+  Alcotest.(check string) "telephone → phone" "phone" (Synonyms.canon "telephone");
+  Alcotest.(check string) "key → num" "num" (Synonyms.canon "key");
+  Alcotest.(check string) "unknown unchanged" "frobnicate" (Synonyms.canon "frobnicate")
+
+let test_name_score_intended_pairs () =
+  let strong = [ ("telephone", "c_phone"); ("orderNum", "o_orderkey");
+                 ("itemNum", "l_partkey"); ("quantity", "l_quantity");
+                 ("priority", "o_orderpriority"); ("invoiceTo", "o_invoicename");
+                 ("deliverToStreet", "o_deliverstreet"); ("unitPrice", "o_totalprice") ] in
+  List.iter
+    (fun (t, s) ->
+      let score = Match.name_score s t in
+      if score < 0.5 then
+        Alcotest.failf "intended pair %s/%s scored %.3f" t s score)
+    strong;
+  let weak = [ ("telephone", "o_orderdate"); ("quantity", "c_name"); ("priority", "l_tax") ] in
+  List.iter
+    (fun (t, s) ->
+      let score = Match.name_score s t in
+      if score > 0.45 then Alcotest.failf "bogus pair %s/%s scored %.3f" t s score)
+    weak
+
+let test_pair_score_context_bonus () =
+  let with_ctx =
+    Match.pair_score ~src_rel:"orders" ~src:"o_orderkey" ~dst_rel:"PO" ~dst:"orderNum"
+  in
+  let without_ctx =
+    Match.pair_score ~src_rel:"nation" ~src:"o_orderkey" ~dst_rel:"PO" ~dst:"orderNum"
+  in
+  Alcotest.(check bool) "context helps" true (with_ctx > without_ctx)
+
+let test_pair_score_deterministic () =
+  let s () =
+    Match.pair_score ~src_rel:"customer" ~src:"c_phone" ~dst_rel:"PO" ~dst:"telephone"
+  in
+  Alcotest.(check (float 1e-12)) "stable" (s ()) (s ())
+
+let test_candidates_sorted_and_thresholded () =
+  let target =
+    Urm_relalg.Schema.make "T"
+      [ ("PO", [ ("telephone", Urm_relalg.Schema.TStr); ("orderNum", Urm_relalg.Schema.TStr) ]) ]
+  in
+  let cands = Match.candidates ~source:Urm_tpch.Gen.schema ~target () in
+  Alcotest.(check bool) "non-empty" true (cands <> []);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Match.score >= b.Match.score && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted cands);
+  List.iter
+    (fun c -> Alcotest.(check bool) "above threshold" true (c.Match.score >= 0.45))
+    cands;
+  Alcotest.(check bool) "telephone has multiple candidates" true
+    (List.length (List.filter (fun c -> c.Match.dst = "PO.telephone") cands) >= 2)
+
+let qcheck_score_bounds =
+  let name_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (1 -- 12)) in
+  QCheck.Test.make ~name:"pair_score in [0,1]" ~count:300
+    (QCheck.make QCheck.Gen.(pair name_gen name_gen))
+    (fun (a, b) ->
+      let s = Match.pair_score ~src_rel:"r" ~src:a ~dst_rel:"t" ~dst:b in
+      s >= 0. && s <= 1.)
+
+let qcheck_lev_triangle =
+  let name_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'c') (0 -- 8)) in
+  QCheck.Test.make ~name:"levenshtein triangle inequality" ~count:300
+    (QCheck.make QCheck.Gen.(triple name_gen name_gen name_gen))
+    (fun (a, b, c) ->
+      Simfun.levenshtein a c <= Simfun.levenshtein a b + Simfun.levenshtein b c)
+
+let qcheck_lev_symmetric =
+  let name_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'd') (0 -- 10)) in
+  QCheck.Test.make ~name:"levenshtein symmetric" ~count:300
+    (QCheck.make QCheck.Gen.(pair name_gen name_gen))
+    (fun (a, b) -> Simfun.levenshtein a b = Simfun.levenshtein b a)
+
+let suite =
+  [
+    Alcotest.test_case "levenshtein" `Quick test_levenshtein;
+    Alcotest.test_case "lev_sim" `Quick test_lev_sim;
+    Alcotest.test_case "ngram_sim" `Quick test_ngram_sim;
+    Alcotest.test_case "tokenize camelCase" `Quick test_tokenize_camel;
+    Alcotest.test_case "tokenize tpch prefix" `Quick test_tokenize_tpch_prefix;
+    Alcotest.test_case "decompose" `Quick test_decompose;
+    Alcotest.test_case "synonyms" `Quick test_synonyms;
+    Alcotest.test_case "intended pairs score high" `Quick test_name_score_intended_pairs;
+    Alcotest.test_case "context bonus" `Quick test_pair_score_context_bonus;
+    Alcotest.test_case "deterministic scores" `Quick test_pair_score_deterministic;
+    Alcotest.test_case "candidates sorted+thresholded" `Quick test_candidates_sorted_and_thresholded;
+    QCheck_alcotest.to_alcotest qcheck_score_bounds;
+    QCheck_alcotest.to_alcotest qcheck_lev_triangle;
+    QCheck_alcotest.to_alcotest qcheck_lev_symmetric;
+  ]

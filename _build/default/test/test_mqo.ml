@@ -1,0 +1,119 @@
+open Urm_relalg
+
+let s v = Value.Str v
+let i v = Value.Int v
+
+let catalog () =
+  let cat = Catalog.create () in
+  Catalog.add cat "R"
+    (Relation.create ~cols:[ "a"; "b" ]
+       [ [| i 1; s "x" |]; [| i 2; s "y" |]; [| i 3; s "x" |]; [| i 4; s "z" |] ]);
+  Catalog.add cat "S"
+    (Relation.create ~cols:[ "c"; "d" ] [ [| i 1; s "p" |]; [| i 2; s "q" |] ]);
+  cat
+
+let q_sel v = Algebra.Select (Pred.eq "b" (s v), Algebra.Base "R")
+
+let q_sel_proj v =
+  Algebra.Project ([ "a" ], Algebra.Select (Pred.eq "b" (s v), Algebra.Base "R"))
+
+let test_plan_finds_shares () =
+  let cat = catalog () in
+  let queries = [ q_sel_proj "x"; q_sel "x"; q_sel_proj "x" ] in
+  let plan = Urm_mqo.Planner.plan cat queries in
+  let m = Urm_mqo.Planner.metrics plan in
+  Alcotest.(check bool) "candidates found" true (m.Urm_mqo.Planner.candidates >= 1);
+  Alcotest.(check bool) "some chosen" true (m.Urm_mqo.Planner.chosen >= 1);
+  Alcotest.(check bool) "cost evaluations counted" true
+    (m.Urm_mqo.Planner.cost_evaluations > 0)
+
+let test_execute_matches_direct_eval () =
+  let cat = catalog () in
+  let queries =
+    [
+      q_sel_proj "x"; q_sel "y";
+      Algebra.Aggregate (Algebra.Count, q_sel "x");
+      Algebra.Join (Pred.eq_cols "a" "c", Algebra.Base "R", Algebra.Base "S");
+      q_sel_proj "x";
+    ]
+  in
+  let plan = Urm_mqo.Planner.plan cat queries in
+  let results = Urm_mqo.Planner.execute cat plan in
+  Alcotest.(check int) "result per query" (List.length queries) (List.length results);
+  List.iter2
+    (fun q (_, rel) ->
+      let direct = Eval.eval cat q in
+      Alcotest.(check bool)
+        (Algebra.to_string q ^ " matches")
+        true
+        (Relation.equal_contents direct rel))
+    queries results
+
+let test_shared_operator_runs_once () =
+  let cat = catalog () in
+  (* the same selection appears in three queries *)
+  let queries = [ q_sel_proj "x"; q_sel_proj "x"; q_sel "x" ] in
+  let plan = Urm_mqo.Planner.plan cat queries in
+  let ctrs = Eval.fresh_counters () in
+  ignore (Urm_mqo.Planner.execute ~ctrs cat plan);
+  let ctrs_nosharing = Eval.fresh_counters () in
+  List.iter (fun q -> ignore (Eval.eval ~ctrs:ctrs_nosharing cat q)) queries;
+  Alcotest.(check bool) "fewer operators with sharing" true
+    (ctrs.Eval.operators < ctrs_nosharing.Eval.operators)
+
+let test_execute_iter_streams () =
+  let cat = catalog () in
+  let queries = [ q_sel "x"; q_sel "y" ] in
+  let plan = Urm_mqo.Planner.plan cat queries in
+  let seen = ref [] in
+  Urm_mqo.Planner.execute_iter cat plan ~f:(fun idx _ rel ->
+      seen := (idx, Relation.cardinality rel) :: !seen);
+  Alcotest.(check (list (pair int int))) "streamed in order" [ (0, 2); (1, 1) ]
+    (List.rev !seen)
+
+let test_empty_query_list () =
+  let cat = catalog () in
+  let plan = Urm_mqo.Planner.plan cat [] in
+  Alcotest.(check int) "no shares" 0 (Urm_mqo.Planner.metrics plan).Urm_mqo.Planner.chosen;
+  Alcotest.(check int) "no results" 0 (List.length (Urm_mqo.Planner.execute cat plan))
+
+let test_estimated_cost_decreases_with_sharing () =
+  let cat = catalog () in
+  let shared_heavy = List.init 6 (fun _ -> q_sel_proj "x") in
+  let plan = Urm_mqo.Planner.plan cat shared_heavy in
+  let disjoint =
+    [ q_sel_proj "x"; q_sel_proj "y"; q_sel_proj "z" ]
+  in
+  let plan2 = Urm_mqo.Planner.plan cat disjoint in
+  Alcotest.(check bool) "heavy sharing chosen" true
+    ((Urm_mqo.Planner.metrics plan).Urm_mqo.Planner.chosen
+    >= (Urm_mqo.Planner.metrics plan2).Urm_mqo.Planner.chosen)
+
+let qcheck_execute_correct =
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 6)
+        (oneofl
+           [ q_sel "x"; q_sel "y"; q_sel "z"; q_sel_proj "x"; q_sel_proj "y";
+             Algebra.Aggregate (Algebra.Count, q_sel "x");
+             Algebra.Distinct (Algebra.Project ([ "b" ], Algebra.Base "R")) ]))
+  in
+  QCheck.Test.make ~name:"mqo execution = direct evaluation" ~count:50 (QCheck.make gen)
+    (fun queries ->
+      let cat = catalog () in
+      let plan = Urm_mqo.Planner.plan cat queries in
+      let results = Urm_mqo.Planner.execute cat plan in
+      List.for_all2
+        (fun q (_, rel) -> Relation.equal_contents (Eval.eval cat q) rel)
+        queries results)
+
+let suite =
+  [
+    Alcotest.test_case "plan finds shares" `Quick test_plan_finds_shares;
+    Alcotest.test_case "execute = direct eval" `Quick test_execute_matches_direct_eval;
+    Alcotest.test_case "shared operator runs once" `Quick test_shared_operator_runs_once;
+    Alcotest.test_case "execute_iter streams" `Quick test_execute_iter_streams;
+    Alcotest.test_case "empty query list" `Quick test_empty_query_list;
+    Alcotest.test_case "sharing amount tracks overlap" `Quick test_estimated_cost_decreases_with_sharing;
+    QCheck_alcotest.to_alcotest qcheck_execute_correct;
+  ]

@@ -1,0 +1,227 @@
+open Urm_relalg
+
+let target =
+  Schema.make "T"
+    [
+      ( "Person",
+        [ ("pname", Schema.TStr); ("phone", Schema.TStr); ("addr", Schema.TStr) ] );
+      ( "Order",
+        [ ("item", Schema.TStr); ("price", Schema.TFloat); ("qty", Schema.TInt) ] );
+    ]
+
+let parse sql = Urm.Sql.parse ~name:"t" ~target sql
+
+let ok sql =
+  match parse sql with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "unexpected parse error on %S: %a" sql Urm.Sql.pp_error e
+
+let err sql =
+  match parse sql with
+  | Ok q -> Alcotest.failf "expected error on %S, parsed %s" sql (Urm.Query.to_string q)
+  | Error e -> e
+
+let test_select_star () =
+  let q = ok "SELECT * FROM Person WHERE addr = 'aaa'" in
+  Alcotest.(check int) "one selection" 1 (List.length q.Urm.Query.selections);
+  Alcotest.(check bool) "no projection" true (q.Urm.Query.projection = None);
+  Alcotest.(check bool) "no aggregate" true (q.Urm.Query.aggregate = None)
+
+let test_projection_and_literals () =
+  let q = ok "select phone, pname from Person, Order where addr = 'ab' and qty = 3" in
+  (match q.Urm.Query.projection with
+  | Some [ a; b ] ->
+    Alcotest.(check string) "phone" "Person.phone" (Urm.Query.tattr_to_string a);
+    Alcotest.(check string) "pname" "Person.pname" (Urm.Query.tattr_to_string b)
+  | _ -> Alcotest.fail "projection shape");
+  (* unqualified attributes resolved across both relations in scope *)
+  (match q.Urm.Query.selections with
+  | [ (a, Value.Str "ab"); (b, Value.Int 3) ] ->
+    Alcotest.(check string) "addr in Person" "Person.addr" (Urm.Query.tattr_to_string a);
+    Alcotest.(check string) "qty in Order" "Order.qty" (Urm.Query.tattr_to_string b)
+  | _ -> Alcotest.fail "selection shape");
+  (* an attribute of a relation not in scope is an error *)
+  ignore (err "SELECT phone FROM Person WHERE qty = 3")
+
+let test_escaped_quote () =
+  let q = ok "SELECT * FROM Person WHERE pname = 'O''Brien'" in
+  match q.Urm.Query.selections with
+  | [ (_, Value.Str s) ] -> Alcotest.(check string) "escaped" "O'Brien" s
+  | _ -> Alcotest.fail "selection shape"
+
+let test_aliases_and_join () =
+  let q =
+    ok
+      "SELECT P1.phone FROM Person AS P1, Person AS P2 WHERE P1.addr = P2.addr AND P1.pname = 'Bob'"
+  in
+  Alcotest.(check int) "aliases" 2 (List.length q.Urm.Query.aliases);
+  Alcotest.(check int) "joins" 1 (List.length q.Urm.Query.joins);
+  Alcotest.(check int) "selections" 1 (List.length q.Urm.Query.selections)
+
+let test_implicit_alias () =
+  let q = ok "SELECT phone FROM Person P WHERE P.addr = 'x'" in
+  Alcotest.(check (list (pair string string))) "alias binding"
+    [ ("P", "Person") ] q.Urm.Query.aliases
+
+let test_count_and_sum () =
+  let q = ok "SELECT COUNT(*) FROM Person, Order WHERE addr = 'x'" in
+  Alcotest.(check bool) "count" true (q.Urm.Query.aggregate = Some Urm.Query.Count);
+  let q2 = ok "SELECT SUM(price) FROM Order" in
+  (match q2.Urm.Query.aggregate with
+  | Some (Urm.Query.Sum ta) ->
+    Alcotest.(check string) "sum attr" "Order.price" (Urm.Query.tattr_to_string ta)
+  | _ -> Alcotest.fail "sum shape")
+
+let test_numeric_literals () =
+  let q = ok "SELECT * FROM Order WHERE qty = 10 AND price = 2.5" in
+  match q.Urm.Query.selections with
+  | [ (_, Value.Int 10); (_, Value.Float 2.5) ] -> ()
+  | _ -> Alcotest.fail "literal types"
+
+let test_unknown_relation () =
+  let e = err "SELECT * FROM Nothing" in
+  Alcotest.(check bool) "mentions relation" true
+    (String.length e.Urm.Sql.message > 0)
+
+let test_unknown_attribute () =
+  ignore (err "SELECT * FROM Person WHERE nope = 1")
+
+let test_ambiguous_attribute () =
+  (* both Person and Order have no common attr; make one ambiguous via self join *)
+  let e = err "SELECT phone FROM Person AS A, Person AS B WHERE phone = 'x'" in
+  Alcotest.(check bool) "ambiguity reported" true
+    (e.Urm.Sql.message <> "")
+
+let test_syntax_errors () =
+  ignore (err "SELECT");
+  ignore (err "SELECT * FROM");
+  ignore (err "SELECT * FROM Person WHERE");
+  ignore (err "SELECT * FROM Person WHERE addr = ");
+  ignore (err "SELECT * FROM Person 123");
+  ignore (err "SELECT * FROM Person WHERE addr = 'unterminated")
+
+let test_error_position () =
+  let e = err "SELECT * FROM Person WHERE @ = 1" in
+  Alcotest.(check int) "position of @" 27 e.Urm.Sql.position
+
+let test_group_by () =
+  let q = ok "SELECT COUNT(*) FROM Person GROUP BY addr" in
+  Alcotest.(check (list string)) "group attrs" [ "Person.addr" ]
+    (List.map Urm.Query.tattr_to_string q.Urm.Query.group_by);
+  Alcotest.(check bool) "count" true (q.Urm.Query.aggregate = Some Urm.Query.Count);
+  let q2 = ok "SELECT SUM(price) FROM Order GROUP BY item, qty" in
+  Alcotest.(check int) "two group attrs" 2 (List.length q2.Urm.Query.group_by);
+  (* roundtrip *)
+  (match Urm.Sql.parse ~name:"t" ~target (Urm.Sql.to_sql q2) with
+  | Ok q2' ->
+    Alcotest.(check string) "roundtrip" (Urm.Query.to_string q2) (Urm.Query.to_string q2')
+  | Error e -> Alcotest.failf "no reparse: %a" Urm.Sql.pp_error e);
+  (* group by without aggregate is rejected by validation *)
+  ignore (err "SELECT * FROM Person GROUP BY addr");
+  ignore (err "SELECT COUNT(*) FROM Person GROUP")
+
+let test_roundtrip_table3 () =
+  (* to_sql ∘ parse is the identity on the paper's workload *)
+  List.iter
+    (fun (name, schema, q) ->
+      let sql = Urm.Sql.to_sql q in
+      match Urm.Sql.parse ~name ~target:schema sql with
+      | Error e -> Alcotest.failf "%s: %s does not re-parse: %a" name sql Urm.Sql.pp_error e
+      | Ok q' ->
+        Alcotest.(check string) (name ^ " roundtrip") (Urm.Query.to_string q)
+          (Urm.Query.to_string q'))
+    Urm_workload.Queries.all
+
+let test_parse_exn () =
+  Alcotest.(check bool) "parses" true
+    (Urm.Sql.parse_exn ~name:"x" ~target "SELECT * FROM Person" |> fun q ->
+     q.Urm.Query.name = "x");
+  match Urm.Sql.parse_exn ~name:"x" ~target "garbage" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_sql_evaluates () =
+  (* the SQL-built query evaluates identically to the hand-built one *)
+  let catalog = Catalog.create () in
+  Catalog.add catalog "Customer"
+    (Relation.create ~cols:[ "cname"; "ophone"; "oaddr" ]
+       [
+         [| Value.Str "Alice"; Value.Str "123"; Value.Str "aaa" |];
+         [| Value.Str "Bob"; Value.Str "456"; Value.Str "bbb" |];
+       ]);
+  let source =
+    Schema.make "S"
+      [ ("Customer", [ ("cname", Schema.TStr); ("ophone", Schema.TStr); ("oaddr", Schema.TStr) ]) ]
+  in
+  let ctx = Urm.Ctx.make ~catalog ~source ~target in
+  let m =
+    Urm.Mapping.make ~id:0 ~prob:1. ~score:1.
+      [ ("Person.phone", "Customer.ophone"); ("Person.addr", "Customer.oaddr") ]
+  in
+  let q_sql = Urm.Sql.parse_exn ~name:"q" ~target "SELECT phone FROM Person WHERE addr = 'aaa'" in
+  let q_hand =
+    Urm.Query.make ~name:"q" ~target
+      ~aliases:[ ("Person", "Person") ]
+      ~selections:[ (Urm.Query.at "Person" "addr", Value.Str "aaa") ]
+      ~projection:[ Urm.Query.at "Person" "phone" ]
+      ()
+  in
+  let a1 = (Urm.Algorithms.run Urm.Algorithms.Basic ctx q_sql [ m ]).Urm.Report.answer in
+  let a2 = (Urm.Algorithms.run Urm.Algorithms.Basic ctx q_hand [ m ]).Urm.Report.answer in
+  Alcotest.(check bool) "same answers" true (Urm.Answer.equal a1 a2)
+
+let qcheck_roundtrip =
+  (* random queries over the fixture schema re-parse to themselves *)
+  let open QCheck.Gen in
+  let gen =
+    let sel =
+      oneofl
+        [
+          (Urm.Query.at "Person" "addr", Value.Str "aaa");
+          (Urm.Query.at "Person" "phone", Value.Str "12");
+          (Urm.Query.at "Order" "qty", Value.Int 5);
+          (Urm.Query.at "Order" "price", Value.Float 1.5);
+        ]
+    in
+    list_size (0 -- 3) sel >>= fun sels ->
+    oneofl [ None; Some [ Urm.Query.at "Person" "phone" ] ] >>= fun proj ->
+    bool >|= fun two_rels ->
+    let aliases =
+      if two_rels then [ ("Person", "Person"); ("Order", "Order") ]
+      else [ ("Person", "Person") ]
+    in
+    let sels =
+      List.sort_uniq compare
+        (List.filter
+           (fun (ta, _) -> two_rels || ta.Urm.Query.alias = "Person")
+           sels)
+    in
+    Urm.Query.make ~name:"r" ~target ~aliases ~selections:sels ?projection:proj ()
+  in
+  QCheck.Test.make ~name:"to_sql/parse roundtrip" ~count:100
+    (QCheck.make gen ~print:Urm.Query.to_string)
+    (fun q ->
+      match Urm.Sql.parse ~name:"r" ~target (Urm.Sql.to_sql q) with
+      | Ok q' -> Urm.Query.to_string q = Urm.Query.to_string q'
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "select star" `Quick test_select_star;
+    Alcotest.test_case "projection + literals" `Quick test_projection_and_literals;
+    Alcotest.test_case "escaped quote" `Quick test_escaped_quote;
+    Alcotest.test_case "aliases + join" `Quick test_aliases_and_join;
+    Alcotest.test_case "implicit alias" `Quick test_implicit_alias;
+    Alcotest.test_case "count and sum" `Quick test_count_and_sum;
+    Alcotest.test_case "numeric literals" `Quick test_numeric_literals;
+    Alcotest.test_case "unknown relation" `Quick test_unknown_relation;
+    Alcotest.test_case "unknown attribute" `Quick test_unknown_attribute;
+    Alcotest.test_case "ambiguous attribute" `Quick test_ambiguous_attribute;
+    Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+    Alcotest.test_case "error position" `Quick test_error_position;
+    Alcotest.test_case "group by" `Quick test_group_by;
+    Alcotest.test_case "Table III roundtrip" `Quick test_roundtrip_table3;
+    Alcotest.test_case "parse_exn" `Quick test_parse_exn;
+    Alcotest.test_case "sql query evaluates" `Quick test_sql_evaluates;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

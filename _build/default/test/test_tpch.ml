@@ -1,0 +1,109 @@
+open Urm_relalg
+
+let cat = lazy (Urm_tpch.Gen.generate ~seed:1 ~scale:0.02 ())
+
+let test_all_relations_present () =
+  let cat = Lazy.force cat in
+  List.iter
+    (fun r -> Alcotest.(check bool) (r ^ " present") true (Catalog.mem cat r))
+    [ "region"; "nation"; "supplier"; "customer"; "part"; "partsupp"; "orders"; "lineitem" ]
+
+let test_schema_attr_count () =
+  Alcotest.(check int) "46 attributes" 46 (Schema.attr_count Urm_tpch.Gen.schema)
+
+let test_deterministic () =
+  let a = Urm_tpch.Gen.generate ~seed:9 ~scale:0.01 () in
+  let b = Urm_tpch.Gen.generate ~seed:9 ~scale:0.01 () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r ^ " identical") true
+        (Relation.equal_contents (Catalog.find a r) (Catalog.find b r)))
+    [ "customer"; "orders"; "lineitem" ];
+  let c = Urm_tpch.Gen.generate ~seed:10 ~scale:0.01 () in
+  Alcotest.(check bool) "different seed differs" false
+    (Relation.equal_contents (Catalog.find a "customer") (Catalog.find c "customer"))
+
+let test_cardinalities_scale () =
+  let small = Urm_tpch.Gen.generate ~seed:1 ~scale:0.01 () in
+  let large = Urm_tpch.Gen.generate ~seed:1 ~scale:0.05 () in
+  Alcotest.(check bool) "scaling grows orders" true
+    (Relation.cardinality (Catalog.find large "orders")
+    > Relation.cardinality (Catalog.find small "orders"));
+  let expected = max 1 (int_of_float (Float.round (15000. *. 0.01))) in
+  Alcotest.(check int) "orders cardinality" expected
+    (Relation.cardinality (Catalog.find small "orders"))
+
+let test_schema_matches_data () =
+  let cat = Lazy.force cat in
+  List.iter
+    (fun (r : Schema.rel) ->
+      let rel = Catalog.find cat r.Schema.rname in
+      Alcotest.(check (list string))
+        (r.Schema.rname ^ " columns")
+        (List.map (fun a -> a.Schema.aname) r.Schema.attrs)
+        (Relation.cols rel))
+    Urm_tpch.Gen.schema.Schema.rels
+
+let count_where cat rel col v =
+  let r = Pred.eval_on (Catalog.find cat rel) (Pred.eq col v) in
+  Relation.cardinality r
+
+let test_hot_constants_planted () =
+  let cat = Lazy.force cat in
+  Alcotest.(check bool) "hot phone in customers or orders" true
+    (count_where cat "customer" "c_phone" (Value.Str Urm_tpch.Gen.phone_hot)
+     + count_where cat "orders" "o_contactphone" (Value.Str Urm_tpch.Gen.phone_hot)
+    > 0);
+  Alcotest.(check bool) "Mary invoices exist" true
+    (count_where cat "orders" "o_invoicename" (Value.Str Urm_tpch.Gen.person_hot) > 0);
+  Alcotest.(check bool) "Central street exists" true
+    (count_where cat "orders" "o_deliverstreet" (Value.Str Urm_tpch.Gen.street_hot) > 0);
+  Alcotest.(check bool) "part 00001 ordered" true
+    (count_where cat "lineitem" "l_partkey" (Value.Str Urm_tpch.Gen.part_hot) > 0);
+  Alcotest.(check bool) "ABC addresses exist" true
+    (count_where cat "customer" "c_address" (Value.Str Urm_tpch.Gen.company_hot) > 0)
+
+let test_referential_integrity () =
+  let cat = Lazy.force cat in
+  let orders = Catalog.find cat "orders" in
+  let n_cust = Relation.cardinality (Catalog.find cat "customer") in
+  Relation.iter
+    (fun row ->
+      match row.(Relation.col_pos orders "o_custkey") with
+      | Value.Int k ->
+        if k < 1 || k > n_cust then Alcotest.failf "dangling custkey %d" k
+      | v -> Alcotest.failf "non-int custkey %s" (Value.to_string v))
+    orders;
+  let lineitem = Catalog.find cat "lineitem" in
+  let okeys = Catalog.index cat "orders" "o_orderkey" in
+  Relation.iter
+    (fun row ->
+      let okey = row.(Relation.col_pos lineitem "l_orderkey") in
+      if not (Hashtbl.mem okeys okey) then
+        Alcotest.failf "dangling orderkey %s" (Value.to_string okey))
+    lineitem
+
+let test_orderkeys_unique () =
+  let cat = Lazy.force cat in
+  let orders = Catalog.find cat "orders" in
+  let keys = Relation.project orders [ "o_orderkey" ] in
+  Alcotest.(check int) "unique keys"
+    (Relation.cardinality orders)
+    (Relation.cardinality (Relation.distinct keys))
+
+let test_pad5 () =
+  Alcotest.(check string) "pad5" "00001" (Urm_tpch.Gen.pad5 1);
+  Alcotest.(check string) "pad5 big" "12345" (Urm_tpch.Gen.pad5 12345)
+
+let suite =
+  [
+    Alcotest.test_case "relations present" `Quick test_all_relations_present;
+    Alcotest.test_case "46 attributes" `Quick test_schema_attr_count;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "cardinalities scale" `Quick test_cardinalities_scale;
+    Alcotest.test_case "schema matches data" `Quick test_schema_matches_data;
+    Alcotest.test_case "hot constants planted" `Quick test_hot_constants_planted;
+    Alcotest.test_case "referential integrity" `Quick test_referential_integrity;
+    Alcotest.test_case "order keys unique" `Quick test_orderkeys_unique;
+    Alcotest.test_case "pad5" `Quick test_pad5;
+  ]

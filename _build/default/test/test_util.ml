@@ -1,0 +1,115 @@
+open Urm_util
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create 7 in
+  let c = Prng.split a in
+  Alcotest.(check bool) "streams differ" false (Prng.next a = Prng.next c)
+
+let test_prng_bounds () =
+  let r = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10);
+    let w = Prng.in_range r 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (w >= 5 && w <= 9);
+    let f = Prng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_float_mean () =
+  let r = Prng.create 3 in
+  let w = Stats.Welford.create () in
+  for _ = 1 to 20000 do
+    Stats.Welford.add w (Prng.float r)
+  done;
+  Alcotest.(check bool) "mean near 0.5" true
+    (abs_float (Stats.Welford.mean w -. 0.5) < 0.02)
+
+let test_shuffle_permutation () =
+  let r = Prng.create 5 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_zipf_skew () =
+  let r = Prng.create 9 in
+  let z = Prng.Zipf.create ~n:100 ~theta:1.0 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10000 do
+    let v = Prng.Zipf.draw z r in
+    Alcotest.(check bool) "in range" true (v >= 1 && v <= 100);
+    counts.(v - 1) <- counts.(v - 1) + 1
+  done;
+  Alcotest.(check bool) "rank 1 beats rank 50" true (counts.(0) > counts.(49))
+
+let test_welford () =
+  let w = Stats.Welford.create () in
+  List.iter (Stats.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Welford.mean w);
+  Alcotest.(check (float 1e-6)) "stddev" 2.13808993529939 (Stats.Welford.stddev w)
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.percentile 0.5 xs);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.percentile 0. xs);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.percentile 1. xs)
+
+let test_entropy () =
+  Alcotest.(check (float 1e-9)) "uniform 4" 2. (Stats.entropy [ 0.25; 0.25; 0.25; 0.25 ]);
+  Alcotest.(check (float 1e-9)) "point mass" 0. (Stats.entropy [ 1.0 ]);
+  (* The paper's Fig. 7 example: E(o1) = 1.53, ties to 3 partitions of
+     40/30/30 percent; E(o2) = 1.36 for 10/70/10/10. *)
+  Alcotest.(check bool) "SEF example ordering" true
+    (Stats.entropy [ 0.1; 0.7; 0.1; 0.1 ] < Stats.entropy [ 0.4; 0.3; 0.3 ])
+
+let test_heap_sorts () =
+  let h = Heap.of_list compare [ 5; 1; 4; 2; 3 ] in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 4; 5 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "peek min" 1 (Heap.peek h);
+  Alcotest.(check int) "pop min" 1 (Heap.pop h);
+  Alcotest.(check int) "len" 4 (Heap.length h)
+
+let test_heap_empty () =
+  let h = Heap.create compare in
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Heap.pop h));
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h)
+
+let qcheck_heap =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Urm_util.Heap.of_list compare xs in
+      Urm_util.Heap.to_sorted_list h = List.sort compare xs)
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 30) (float_bound_exclusive 1000.)) (float_bound_inclusive 1.))
+    (fun (xs, p) ->
+      let v = Stats.percentile p xs in
+      v >= List.fold_left min infinity xs -. 1e-9
+      && v <= List.fold_left max neg_infinity xs +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng split independent" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng float mean" `Quick test_prng_float_mean;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "welford" `Quick test_welford;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "entropy" `Quick test_entropy;
+    Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
+    Alcotest.test_case "heap empty" `Quick test_heap_empty;
+    QCheck_alcotest.to_alcotest qcheck_heap;
+    QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+  ]

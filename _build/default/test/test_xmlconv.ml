@@ -1,0 +1,184 @@
+open Urm_relalg
+open Urm_xmlconv
+
+let s = Schema.TStr
+let i = Schema.TInt
+let el = Xtree.element
+let one c = (Xtree.One, c)
+let opt c = (Xtree.Opt, c)
+let many c = (Xtree.Many, c)
+
+let test_xtree_measures () =
+  let t =
+    el "root"
+      ~children:
+        [ many (el "a" ~attrs:[ ("x", s); ("y", i) ] ~children:[ one (el ~text:s "b") ]) ]
+  in
+  Alcotest.(check int) "leaves" 3 (Xtree.leaf_count t);
+  Alcotest.(check int) "depth" 3 (Xtree.depth t);
+  Alcotest.(check (list string)) "tags" [ "root"; "a"; "b" ] (Xtree.tags t)
+
+let test_inline_composed_names () =
+  let t =
+    el "Doc"
+      ~children:
+        [
+          many
+            (el "PO" ~key:"num"
+               ~attrs:[ ("num", s) ]
+               ~children:
+                 [
+                   one (el "deliverTo" ~text:s ~attrs:[ ("street", s); ("zip", i) ]);
+                   opt (el "billing" ~attrs:[ ("method", s) ]);
+                 ]);
+        ]
+  in
+  let schema = Convert.inline t in
+  Alcotest.(check string) "schema name" "Doc" schema.Schema.sname;
+  let po = Schema.find_rel schema "PO" in
+  Alcotest.(check (list string)) "composed attributes"
+    [ "num"; "deliverTo"; "deliverToStreet"; "deliverToZip"; "billingMethod" ]
+    (List.map (fun a -> a.Schema.aname) po.Schema.attrs);
+  Alcotest.(check bool) "zip keeps its type" true
+    (Schema.type_of schema "PO.deliverToZip" = Schema.TInt)
+
+let test_inline_key_inheritance () =
+  let t =
+    el "Doc"
+      ~children:
+        [
+          many
+            (el "order" ~key:"oid"
+               ~attrs:[ ("oid", i); ("who", s) ]
+               ~children:[ many (el "line" ~attrs:[ ("qty", i) ]) ]);
+        ]
+  in
+  let schema = Convert.inline t in
+  let line = Schema.find_rel schema "line" in
+  (* the nested Many element inherits the parent key, appended last *)
+  Alcotest.(check (list string)) "inherited key" [ "qty"; "oid" ]
+    (List.map (fun a -> a.Schema.aname) line.Schema.attrs);
+  Alcotest.(check bool) "inherited type" true
+    (Schema.type_of schema "line.oid" = Schema.TInt)
+
+let test_inline_key_already_declared () =
+  let t =
+    el "Doc"
+      ~children:
+        [
+          many
+            (el "order" ~key:"oid"
+               ~attrs:[ ("oid", i) ]
+               ~children:[ many (el "line" ~attrs:[ ("oid", i); ("qty", i) ]) ]);
+        ]
+  in
+  let line = Schema.find_rel (Convert.inline t) "line" in
+  Alcotest.(check (list string)) "no duplicate key" [ "oid"; "qty" ]
+    (List.map (fun a -> a.Schema.aname) line.Schema.attrs)
+
+let test_inline_collision_rejected () =
+  let t =
+    el "Doc"
+      ~children:
+        [
+          many
+            (el "r"
+               ~attrs:[ ("aB", s) ]
+               ~children:[ one (el "a" ~attrs:[ ("b", s) ]) ]);
+        ]
+  in
+  match Convert.inline t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "collision accepted"
+
+let test_inline_empty_rejected () =
+  match Convert.inline (el "Doc") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty accepted"
+
+let test_targets_derived_from_xml () =
+  Alcotest.(check int) "Excel XML leaves" 48 (Xtree.leaf_count Urm_workload.Targets.excel_xml);
+  Alcotest.(check int) "Noris XML leaves" 66 (Xtree.leaf_count Urm_workload.Targets.noris_xml);
+  Alcotest.(check int) "Paragon XML leaves" 69
+    (Xtree.leaf_count Urm_workload.Targets.paragon_xml);
+  (* inlining preserves the leaf count: every XML leaf becomes a column *)
+  List.iter
+    (fun (xml, rel) ->
+      Alcotest.(check int) "leaves = attributes" (Xtree.leaf_count xml)
+        (Schema.attr_count rel))
+    [
+      (Urm_workload.Targets.excel_xml, Urm_workload.Targets.excel);
+      (Urm_workload.Targets.noris_xml, Urm_workload.Targets.noris);
+      (Urm_workload.Targets.paragon_xml, Urm_workload.Targets.paragon);
+    ];
+  (* the composed names the workload queries rely on *)
+  Alcotest.(check bool) "deliverToStreet" true
+    (Schema.type_of Urm_workload.Targets.excel "PO.deliverToStreet" = Schema.TStr);
+  Alcotest.(check bool) "billToAddress" true
+    (Schema.type_of Urm_workload.Targets.paragon "PO.billToAddress" = Schema.TStr);
+  Alcotest.(check bool) "shipToPhone" true
+    (Schema.type_of Urm_workload.Targets.paragon "PO.shipToPhone" = Schema.TStr)
+
+let test_nest_tpch () =
+  let fks =
+    [
+      ("nation", "region"); ("customer", "nation"); ("supplier", "nation");
+      ("orders", "customer"); ("lineitem", "orders"); ("partsupp", "part");
+    ]
+  in
+  let xml = Convert.nest ~fks Urm_tpch.Gen.schema in
+  Alcotest.(check string) "root tag" "TPCH" xml.Xtree.tag;
+  (* all 46 attributes survive the conversion *)
+  Alcotest.(check int) "leaves" 46 (Xtree.leaf_count xml);
+  (* roots: region and part *)
+  let root_tags = List.map (fun (_, c) -> c.Xtree.tag) xml.Xtree.children in
+  Alcotest.(check (list string)) "roots" [ "region"; "part" ] root_tags;
+  (* nation nests under region, and has two children *)
+  let region = List.find (fun (_, c) -> c.Xtree.tag = "region") xml.Xtree.children |> snd in
+  let nation = List.find (fun (_, c) -> c.Xtree.tag = "nation") region.Xtree.children |> snd in
+  Alcotest.(check int) "nation has customer+supplier" 2 (List.length nation.Xtree.children);
+  Alcotest.(check int) "depth" 6 (Xtree.depth xml)
+
+let test_nest_cycle_rejected () =
+  let schema = Schema.make "C" [ ("a", [ ("x", s) ]); ("b", [ ("y", s) ]) ] in
+  match Convert.nest ~fks:[ ("a", "b"); ("b", "a") ] schema with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cycle accepted"
+
+let test_nest_unknown_rejected () =
+  match Convert.nest ~fks:[ ("zzz", "region") ] Urm_tpch.Gen.schema with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown relation accepted"
+
+let test_nest_then_inline_preserves_attrs () =
+  (* flat nest (no fks) followed by inlining recovers the relational schema *)
+  let back = Convert.inline (Convert.nest ~fks:[] Urm_tpch.Gen.schema) in
+  Alcotest.(check int) "attr count" (Schema.attr_count Urm_tpch.Gen.schema)
+    (Schema.attr_count back);
+  List.iter
+    (fun (rel : Schema.rel) ->
+      let recovered = Schema.find_rel back rel.Schema.rname in
+      Alcotest.(check (list string)) (rel.Schema.rname ^ " attrs")
+        (List.map (fun a -> a.Schema.aname) rel.Schema.attrs)
+        (List.map (fun a -> a.Schema.aname) recovered.Schema.attrs))
+    Urm_tpch.Gen.schema.Schema.rels
+
+let test_xtree_pp () =
+  let text = Format.asprintf "%a" Xtree.pp Urm_workload.Targets.excel_xml in
+  Alcotest.(check bool) "pp nonempty" true (String.length text > 100)
+
+let suite =
+  [
+    Alcotest.test_case "xtree measures" `Quick test_xtree_measures;
+    Alcotest.test_case "inline composed names" `Quick test_inline_composed_names;
+    Alcotest.test_case "inline key inheritance" `Quick test_inline_key_inheritance;
+    Alcotest.test_case "inline key already declared" `Quick test_inline_key_already_declared;
+    Alcotest.test_case "inline collision rejected" `Quick test_inline_collision_rejected;
+    Alcotest.test_case "inline empty rejected" `Quick test_inline_empty_rejected;
+    Alcotest.test_case "targets derived from XML" `Quick test_targets_derived_from_xml;
+    Alcotest.test_case "nest TPC-H" `Quick test_nest_tpch;
+    Alcotest.test_case "nest cycle rejected" `Quick test_nest_cycle_rejected;
+    Alcotest.test_case "nest unknown rejected" `Quick test_nest_unknown_rejected;
+    Alcotest.test_case "nest ∘ inline preserves" `Quick test_nest_then_inline_preserves_attrs;
+    Alcotest.test_case "xtree pp" `Quick test_xtree_pp;
+  ]
