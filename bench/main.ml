@@ -46,6 +46,8 @@ let wanted only id =
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures. *)
 
+let metrics_file = "metrics.json"
+
 let run_tables only quick =
   let cfg =
     if quick then Urm_workload.Experiments.quick else Urm_workload.Experiments.default
@@ -53,15 +55,31 @@ let run_tables only quick =
   Format.printf "=== experiment tables (scale %g, h = %d, runs = %d) ===@.@."
     cfg.Urm_workload.Experiments.scale cfg.Urm_workload.Experiments.h
     cfg.Urm_workload.Experiments.runs;
-  List.iter
-    (fun (id, f) ->
-      if wanted only id then begin
-        let t0 = Unix.gettimeofday () in
-        let table = f cfg in
-        Format.printf "%a  [%.1fs]@.@." Urm_workload.Experiments.Table.pp table
-          (Unix.gettimeofday () -. t0)
-      end)
-    Urm_workload.Experiments.all
+  (* One metrics snapshot per experiment: the algorithms all record into the
+     global registry, so reset it around each experiment and keep the
+     per-experiment JSON. *)
+  let snapshots =
+    List.filter_map
+      (fun (id, f) ->
+        if wanted only id then begin
+          Urm_obs.Metrics.reset Urm_obs.Metrics.global;
+          let t0 = Unix.gettimeofday () in
+          let table = f cfg in
+          Format.printf "%a  [%.1fs]@.@." Urm_workload.Experiments.Table.pp table
+            (Unix.gettimeofday () -. t0);
+          Some (id, Urm_obs.Metrics.to_json Urm_obs.Metrics.global)
+        end
+        else None)
+      Urm_workload.Experiments.all
+  in
+  if snapshots <> [] then begin
+    let json = Urm_util.Json.Obj [ ("experiments", Urm_util.Json.Obj snapshots) ] in
+    let oc = open_out metrics_file in
+    output_string oc (Urm_util.Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "wrote per-experiment operator metrics to %s@." metrics_file
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one per table/figure. *)

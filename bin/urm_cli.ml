@@ -31,6 +31,18 @@ let lookup_target name =
   with Not_found ->
     Error (`Msg (Printf.sprintf "unknown target schema %S (Excel|Noris|Paragon)" name))
 
+let metrics_t =
+  let doc =
+    "After evaluating, print the operator-level metrics registry (counters \
+     and phase timers) as JSON on stdout."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let print_metrics enabled =
+  if enabled then
+    print_endline
+      (Urm_util.Json.to_string (Urm_obs.Metrics.to_json Urm_obs.Metrics.global))
+
 (* ------------------------------------------------------------------ *)
 
 let generate_cmd =
@@ -128,7 +140,7 @@ let explain_t =
         ~doc:"Print the u-trace (operator choices, partitions, leaves) while evaluating.")
 
 let query_cmd =
-  let run qname alg_name scale seed h answers sql explain =
+  let run qname alg_name scale seed h answers sql explain metrics =
     match parse_algorithm alg_name with
     | Error (`Msg m) ->
       prerr_endline m;
@@ -178,17 +190,18 @@ let query_cmd =
           (Urm.Answer.top_k report.Urm.Report.answer answers);
         if Urm.Answer.null_prob report.Urm.Report.answer > 0. then
           Format.printf "  θ (empty) : %.4f@."
-            (Urm.Answer.null_prob report.Urm.Report.answer)
+            (Urm.Answer.null_prob report.Urm.Report.answer);
+        print_metrics metrics
     end
   in
   let doc = "Evaluate a probabilistic query over the uncertain matching." in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ query_name_t $ algorithm_t $ scale_t $ seed_t $ h_t $ answers_t
-      $ sql_t $ explain_t)
+      $ sql_t $ explain_t $ metrics_t)
 
 let topk_cmd =
-  let run qname k scale seed h =
+  let run qname k scale seed h metrics =
     match Urm_workload.Queries.by_name qname with
     | exception Not_found ->
       Format.eprintf "unknown query %s (Q1..Q10)@." qname;
@@ -206,15 +219,16 @@ let topk_cmd =
             (String.concat ", "
                (Array.to_list (Array.map Urm_relalg.Value.to_string t)))
             lb)
-        (Urm.Answer.to_list r.Urm.Topk.report.Urm.Report.answer)
+        (Urm.Answer.to_list r.Urm.Topk.report.Urm.Report.answer);
+      print_metrics metrics
   in
   let k_t = Arg.(value & opt int 5 & info [ "k" ] ~doc:"How many answers.") in
   let doc = "Evaluate a probabilistic top-k query." in
   Cmd.v (Cmd.info "topk" ~doc)
-    Term.(const run $ query_name_t $ k_t $ scale_t $ seed_t $ h_t)
+    Term.(const run $ query_name_t $ k_t $ scale_t $ seed_t $ h_t $ metrics_t)
 
 let threshold_cmd =
-  let run qname tau scale seed h =
+  let run qname tau scale seed h metrics =
     match Urm_workload.Queries.by_name qname with
     | exception Not_found ->
       Format.eprintf "unknown query %s (Q1..Q10)@." qname;
@@ -232,12 +246,13 @@ let threshold_cmd =
             (String.concat ", "
                (Array.to_list (Array.map Urm_relalg.Value.to_string t)))
             lb)
-        (Urm.Answer.to_list r.Urm.Threshold.report.Urm.Report.answer)
+        (Urm.Answer.to_list r.Urm.Threshold.report.Urm.Report.answer);
+      print_metrics metrics
   in
   let tau_t = Arg.(value & opt float 0.5 & info [ "tau" ] ~doc:"Probability threshold.") in
   let doc = "Evaluate a probability-threshold query." in
   Cmd.v (Cmd.info "threshold" ~doc)
-    Term.(const run $ query_name_t $ tau_t $ scale_t $ seed_t $ h_t)
+    Term.(const run $ query_name_t $ tau_t $ scale_t $ seed_t $ h_t $ metrics_t)
 
 let export_cmd =
   let run dir scale seed =

@@ -18,11 +18,11 @@ let exact =
   [ Basic; Ebasic; Emqo; Qsharing; Osharing Eunit.Random; Osharing Eunit.Snf;
     Osharing Eunit.Sef ]
 
-let run t ctx q ms =
+let run ?metrics t ctx q ms =
   match t with
-  | Basic -> Basic.run ctx q ms
-  | Ebasic -> Ebasic.run ctx q ms
-  | Emqo -> Emqo.run ctx q ms
-  | Qsharing -> Qsharing.run ctx q ms
-  | Osharing s -> Osharing.run ~strategy:s ctx q ms
-  | Topk (k, s) -> (Topk.run ~strategy:s ~k ctx q ms).Topk.report
+  | Basic -> Basic.run ?metrics ctx q ms
+  | Ebasic -> Ebasic.run ?metrics ctx q ms
+  | Emqo -> Emqo.run ?metrics ctx q ms
+  | Qsharing -> Qsharing.run ?metrics ctx q ms
+  | Osharing s -> Osharing.run ~strategy:s ?metrics ctx q ms
+  | Topk (k, s) -> (Topk.run ~strategy:s ?metrics ~k ctx q ms).Topk.report

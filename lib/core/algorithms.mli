@@ -16,4 +16,13 @@ val name : t -> string
     identical answers on any input. *)
 val exact : t list
 
-val run : t -> Ctx.t -> Query.t -> Mapping.t list -> Report.t
+(** [run ?metrics t ctx q ms] dispatches to the algorithm's [run]; each
+    algorithm records under its own scope of [metrics] (default
+    {!Urm_obs.Metrics.global}). *)
+val run :
+  ?metrics:Urm_obs.Metrics.t ->
+  t ->
+  Ctx.t ->
+  Query.t ->
+  Mapping.t list ->
+  Report.t

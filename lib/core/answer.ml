@@ -62,7 +62,7 @@ let prob_of_approx t tuple =
         | None -> if approx_tuple_equal tuple other then Some p else None)
       t.rows None
 
-let equal ?(eps = 1e-9) a b =
+let equal ?(eps = Prob.eps) a b =
   a.output = b.output
   && abs_float (a.null_mass -. b.null_mass) <= eps
   && Hashtbl.length a.rows = Hashtbl.length b.rows

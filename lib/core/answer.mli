@@ -41,7 +41,7 @@ val total_prob : t -> float
 val prob_of : t -> Urm_relalg.Value.t array -> float
 
 (** [equal ?eps a b] same outputs, same θ mass and same tuple
-    probabilities within [eps] (default [1e-9]). *)
+    probabilities within [eps] (default {!Prob.eps}). *)
 val equal : ?eps:float -> t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

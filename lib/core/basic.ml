@@ -4,8 +4,8 @@ open Urm_relalg
    mappings — with large h the h materialised answers would not fit in
    memory) but attributed to the paper's three phases with stopwatches:
    rewrite, evaluate, aggregate (Fig. 10(a)). *)
-let run (ctx : Ctx.t) q ms =
-  let ctrs = Eval.fresh_counters () in
+let run_scoped ~metrics (ctx : Ctx.t) q ms =
+  let ctrs = Eval.fresh_counters ~metrics () in
   let sw_rewrite = Urm_util.Timer.Stopwatch.create () in
   let sw_evaluate = Urm_util.Timer.Stopwatch.create () in
   let sw_aggregate = Urm_util.Timer.Stopwatch.create () in
@@ -43,3 +43,9 @@ let run (ctx : Ctx.t) q ms =
     rows_produced = ctrs.Eval.rows_produced;
     groups = List.length ms;
   }
+
+let run ?(metrics = Urm_obs.Metrics.global) ctx q ms =
+  let m = Urm_obs.Metrics.scope metrics "basic" in
+  let r = run_scoped ~metrics:m ctx q ms in
+  Report.record_metrics m r;
+  r

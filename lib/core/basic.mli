@@ -2,4 +2,14 @@
     through every possible mapping, evaluate each source query, and
     aggregate duplicate answers by summing probabilities. *)
 
-val run : Ctx.t -> Query.t -> Mapping.t list -> Report.t
+(** [run ?metrics ctx q ms] records its counters and phase timers under the
+    ["basic"] scope of [metrics] (default {!Urm_obs.Metrics.global}). *)
+val run :
+  ?metrics:Urm_obs.Metrics.t -> Ctx.t -> Query.t -> Mapping.t list -> Report.t
+
+(** [run_scoped ~metrics …] like {!run} but records directly into [metrics]
+    without adding the ["basic"] scope or the per-run summary — for callers
+    (q-sharing) that reuse the evaluation loop under their own scope and
+    adjust the report before recording it. *)
+val run_scoped :
+  metrics:Urm_obs.Metrics.t -> Ctx.t -> Query.t -> Mapping.t list -> Report.t

@@ -15,8 +15,9 @@ let distinct_source_queries (ctx : Ctx.t) q ms =
     ms;
   List.rev_map (fun k -> !(Hashtbl.find groups k)) !order
 
-let run (ctx : Ctx.t) q ms =
-  let ctrs = Eval.fresh_counters () in
+let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
+  let m = Urm_obs.Metrics.scope metrics "e-basic" in
+  let ctrs = Eval.fresh_counters ~metrics:m () in
   let distinct, rewrite =
     Urm_util.Timer.time (fun () -> distinct_source_queries ctx q ms)
   in
@@ -39,16 +40,20 @@ let run (ctx : Ctx.t) q ms =
       | None -> Reformulate.null_answer_into acc sq ~factor p);
       Urm_util.Timer.Stopwatch.stop sw_aggregate)
     distinct;
-  {
-    Report.answer = acc;
-    timings =
-      {
-        Report.rewrite;
-        plan = 0.;
-        evaluate = Urm_util.Timer.Stopwatch.elapsed sw_evaluate;
-        aggregate = Urm_util.Timer.Stopwatch.elapsed sw_aggregate;
-      };
-    source_operators = ctrs.Eval.operators;
-    rows_produced = ctrs.Eval.rows_produced;
-    groups = List.length distinct;
-  }
+  let report =
+    {
+      Report.answer = acc;
+      timings =
+        {
+          Report.rewrite;
+          plan = 0.;
+          evaluate = Urm_util.Timer.Stopwatch.elapsed sw_evaluate;
+          aggregate = Urm_util.Timer.Stopwatch.elapsed sw_aggregate;
+        };
+      source_operators = ctrs.Eval.operators;
+      rows_produced = ctrs.Eval.rows_produced;
+      groups = List.length distinct;
+    }
+  in
+  Report.record_metrics m report;
+  report

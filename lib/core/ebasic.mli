@@ -2,7 +2,10 @@
     source queries are clustered first and each distinct source query is
     evaluated once, carrying the summed probability of its mappings. *)
 
-val run : Ctx.t -> Query.t -> Mapping.t list -> Report.t
+(** [run ?metrics ctx q ms] records its counters and phase timers under the
+    ["e-basic"] scope of [metrics] (default {!Urm_obs.Metrics.global}). *)
+val run :
+  ?metrics:Urm_obs.Metrics.t -> Ctx.t -> Query.t -> Mapping.t list -> Report.t
 
 (** The clustering step, exposed for e-MQO and tests: source queries grouped
     by {!Reformulate.key} with their probability mass, in first-appearance

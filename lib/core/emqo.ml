@@ -1,7 +1,8 @@
 open Urm_relalg
 
-let run (ctx : Ctx.t) q ms =
-  let ctrs = Eval.fresh_counters () in
+let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
+  let m = Urm_obs.Metrics.scope metrics "e-MQO" in
+  let ctrs = Eval.fresh_counters ~metrics:m () in
   let distinct, rewrite =
     Urm_util.Timer.time (fun () -> Ebasic.distinct_source_queries ctx q ms)
   in
@@ -29,10 +30,14 @@ let run (ctx : Ctx.t) q ms =
                 ~factor:(Reformulate.factor ctx.catalog sq) p)
           distinct)
   in
-  {
-    Report.answer = acc;
-    timings = { Report.rewrite; plan = plan_time; evaluate; aggregate };
-    source_operators = ctrs.Eval.operators;
-    rows_produced = ctrs.Eval.rows_produced;
-    groups = List.length distinct;
-  }
+  let report =
+    {
+      Report.answer = acc;
+      timings = { Report.rewrite; plan = plan_time; evaluate; aggregate };
+      source_operators = ctrs.Eval.operators;
+      rows_produced = ctrs.Eval.rows_produced;
+      groups = List.length distinct;
+    }
+  in
+  Report.record_metrics m report;
+  report

@@ -5,4 +5,7 @@
     the reason the paper finds e-MQO slower than e-basic despite executing
     the fewest operators. *)
 
-val run : Ctx.t -> Query.t -> Mapping.t list -> Report.t
+(** [run ?metrics ctx q ms] records its counters and phase timers under the
+    ["e-MQO"] scope of [metrics] (default {!Urm_obs.Metrics.global}). *)
+val run :
+  ?metrics:Urm_obs.Metrics.t -> Ctx.t -> Query.t -> Mapping.t list -> Report.t

@@ -28,34 +28,38 @@ type env = {
   ctrs : Eval.counters;
   memo : (string, Relation.t) Hashtbl.t;
   use_memo : bool;
-  mutable hits : int;
-  mutable eunits : int;
+  c_eunits : Urm_obs.Metrics.counter;
+  c_hits : Urm_obs.Metrics.counter;
+  c_misses : Urm_obs.Metrics.counter;
   mutable tracer : (string -> unit) option;
 }
 
-let make_env ?(seed = 1) ?(use_memo = true) ~strategy ctx q =
+let make_env ?(seed = 1) ?(use_memo = true) ?(metrics = Urm_obs.Metrics.global)
+    ~strategy ctx q =
+  let mu = Urm_obs.Metrics.scope metrics "eunit" in
   {
     ctx;
     q;
     strategy;
     rng = Urm_util.Prng.create seed;
-    ctrs = Eval.fresh_counters ();
+    ctrs = Eval.fresh_counters ~metrics ();
     memo = Hashtbl.create 256;
     use_memo;
-    hits = 0;
-    eunits = 0;
+    c_eunits = Urm_obs.Metrics.counter mu "executions";
+    c_hits = Urm_obs.Metrics.counter mu "memo_hits";
+    c_misses = Urm_obs.Metrics.counter mu "memo_misses";
     tracer = None;
   }
 
 let counters env = env.ctrs
-let memo_hits env = env.hits
+let memo_hits env = Urm_obs.Metrics.value env.c_hits
 let set_tracer env f = env.tracer <- Some f
 
 let trace env fmt =
   match env.tracer with
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
   | Some f -> Format.kasprintf f fmt
-let eunits_created env = env.eunits
+let eunits_created env = Urm_obs.Metrics.value env.c_eunits
 let init q mappings = { pieces = []; pending = Query.operators q; mappings }
 let mass u = Mapping.total_prob u.mappings
 
@@ -73,9 +77,10 @@ let run_qs env expr =
   let fp = Algebra.fingerprint expr in
   match if env.use_memo then Hashtbl.find_opt env.memo fp else None with
   | Some r ->
-    env.hits <- env.hits + 1;
+    Urm_obs.Metrics.incr env.c_hits;
     r
   | None ->
+    Urm_obs.Metrics.incr env.c_misses;
     let r = Eval.eval ~ctrs:env.ctrs env.ctx.catalog expr in
     if env.use_memo then Hashtbl.replace env.memo fp r;
     r
@@ -502,10 +507,10 @@ let exec_op env u op group =
    Algorithm 4 when [emit] stops early). *)
 
 let rec run_qt env u ~emit =
-  env.eunits <- env.eunits + 1;
+  Urm_obs.Metrics.incr env.c_eunits;
   let op, groups = select_next env u in
   trace env "e-unit #%d (%d mappings, mass %.3f): next %a across %d partition(s)"
-    env.eunits (List.length u.mappings) (mass u) (Query.pp_op env.q) op
+    (eunits_created env) (List.length u.mappings) (mass u) (Query.pp_op env.q) op
     (List.length groups);
   let groups =
     List.sort

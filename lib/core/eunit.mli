@@ -43,11 +43,20 @@ type t = {
 (** Shared state of one o-sharing run. *)
 type env
 
-(** [make_env ?seed ?use_memo ~strategy ctx q] fresh run state.  [seed]
-    drives the [Random] strategy only; [use_memo] (default [true]) toggles
-    cross-branch operator memoisation (the [abl-memo] ablation). *)
+(** [make_env ?seed ?use_memo ?metrics ~strategy ctx q] fresh run state.
+    [seed] drives the [Random] strategy only; [use_memo] (default [true])
+    toggles cross-branch operator memoisation (the [abl-memo] ablation);
+    [metrics] (default {!Urm_obs.Metrics.global}) is the scope that
+    receives the run's counters — e-unit executions and memo hits/misses
+    under ["eunit/"], engine operator counts under ["relalg/"]. *)
 val make_env :
-  ?seed:int -> ?use_memo:bool -> strategy:strategy -> Ctx.t -> Query.t -> env
+  ?seed:int ->
+  ?use_memo:bool ->
+  ?metrics:Urm_obs.Metrics.t ->
+  strategy:strategy ->
+  Ctx.t ->
+  Query.t ->
+  env
 
 (** Operator/row counters of the run so far. *)
 val counters : env -> Urm_relalg.Eval.counters

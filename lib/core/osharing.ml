@@ -2,12 +2,15 @@ open Urm_relalg
 
 type stats = { eunits : int; memo_hits : int; representatives : int }
 
-let run_with_stats ?(strategy = Eunit.Sef) ?seed ?use_memo ?tracer (ctx : Ctx.t) q
-    ms =
+let run_with_stats ?(strategy = Eunit.Sef) ?seed ?use_memo ?tracer
+    ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
+  let m = Urm_obs.Metrics.scope metrics "o-sharing" in
   let reps, rewrite =
     Urm_util.Timer.time (fun () -> Qsharing.representatives ctx q ms)
   in
-  let env = Eunit.make_env ?seed ?use_memo ~strategy ctx q in
+  Urm_obs.Metrics.incr ~by:(List.length reps)
+    (Urm_obs.Metrics.counter (Urm_obs.Metrics.scope m "eunit") "representatives");
+  let env = Eunit.make_env ?seed ?use_memo ~metrics:m ~strategy ctx q in
   Option.iter (Eunit.set_tracer env) tracer;
   let answer = Answer.create (Reformulate.output_header q) in
   let emit = function
@@ -22,18 +25,22 @@ let run_with_stats ?(strategy = Eunit.Sef) ?seed ?use_memo ?tracer (ctx : Ctx.t)
     Urm_util.Timer.time (fun () -> Eunit.run_qt env (Eunit.init q reps) ~emit)
   in
   let ctrs = Eunit.counters env in
-  ( {
+  let report =
+    {
       Report.answer;
       timings = { Report.rewrite; plan = 0.; evaluate; aggregate = 0. };
       source_operators = ctrs.Eval.operators;
       rows_produced = ctrs.Eval.rows_produced;
       groups = List.length reps;
-    },
+    }
+  in
+  Report.record_metrics m report;
+  ( report,
     {
       eunits = Eunit.eunits_created env;
       memo_hits = Eunit.memo_hits env;
       representatives = List.length reps;
     } )
 
-let run ?strategy ?seed ?use_memo ctx q ms =
-  fst (run_with_stats ?strategy ?seed ?use_memo ctx q ms)
+let run ?strategy ?seed ?use_memo ?metrics ctx q ms =
+  fst (run_with_stats ?strategy ?seed ?use_memo ?metrics ctx q ms)

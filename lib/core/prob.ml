@@ -1,0 +1,1 @@
+let eps = 1e-9

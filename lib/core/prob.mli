@@ -1,0 +1,18 @@
+(** Shared numeric tolerance for probability bookkeeping.
+
+    Probabilities in this system are sums of mapping masses, accumulated in
+    different orders by different algorithms; float addition is not
+    associative, so any comparison of accumulated masses must allow for
+    rounding noise.  [eps] is comfortably above the error of summing a few
+    thousand doubles and far below any genuine probability difference the
+    workloads produce.
+
+    Everything that compares probability masses — {!Answer.equal}, top-k
+    pruning ({!Topk}), threshold decisions ({!Threshold}) — uses this one
+    constant, so they agree on when two masses are "equal".  (Previously
+    {!Answer.equal} used 1e-9 while the pruning code hard-coded 1e-12: a
+    tuple could be pruned as decided under one tolerance yet compare as
+    undecided under the other.) *)
+
+val eps : float
+(** [1e-9]. *)

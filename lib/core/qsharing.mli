@@ -4,7 +4,10 @@
     over the representatives.  Unlike e-basic this never rewrites the query
     through all h mappings. *)
 
-val run : Ctx.t -> Query.t -> Mapping.t list -> Report.t
+(** [run ?metrics ctx q ms] records its counters and phase timers under the
+    ["q-sharing"] scope of [metrics] (default {!Urm_obs.Metrics.global}). *)
+val run :
+  ?metrics:Urm_obs.Metrics.t -> Ctx.t -> Query.t -> Mapping.t list -> Report.t
 
 (** The representative mappings q-sharing would use (exposed for o-sharing,
     which starts from the same partitioning, and for tests). *)

@@ -16,6 +16,17 @@ type t = {
   groups : int;
 }
 
+(* One record per completed run: the phase breakdown as timers plus run and
+   group counts, under the algorithm's metrics scope. *)
+let record_metrics m r =
+  let open Urm_obs.Metrics in
+  incr (counter m "runs");
+  incr ~by:r.groups (counter m "groups");
+  record (timer m "phase.rewrite") r.timings.rewrite;
+  record (timer m "phase.plan") r.timings.plan;
+  record (timer m "phase.evaluate") r.timings.evaluate;
+  record (timer m "phase.aggregate") r.timings.aggregate
+
 let pp ppf r =
   Format.fprintf ppf
     "@[<v>%d tuples (θ=%.3f) | rewrite %.4fs plan %.4fs eval %.4fs agg %.4fs | %d ops, %d rows, %d groups@]"

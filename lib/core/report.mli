@@ -23,4 +23,9 @@ type t = {
           depending on the algorithm *)
 }
 
+(** [record_metrics m r] records one completed run into the metrics scope
+    [m]: the ["runs"] and ["groups"] counters plus one ["phase.*"] timer
+    observation per phase of [r.timings]. *)
+val record_metrics : Urm_obs.Metrics.t -> t -> unit
+
 val pp : Format.formatter -> t -> unit

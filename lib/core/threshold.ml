@@ -6,13 +6,17 @@ type result = {
   stopped_early : bool;
 }
 
-let run ?(strategy = Eunit.Sef) ?seed ?use_memo ~tau (ctx : Ctx.t) q ms =
+let run ?(strategy = Eunit.Sef) ?seed ?use_memo
+    ?(metrics = Urm_obs.Metrics.global) ~tau (ctx : Ctx.t) q ms =
   if tau <= 0. || tau > 1. then invalid_arg "Threshold.run: tau must be in (0, 1]";
+  let m = Urm_obs.Metrics.scope metrics "threshold" in
   let reps, rewrite =
     Urm_util.Timer.time (fun () -> Qsharing.representatives ctx q ms)
   in
-  let env = Eunit.make_env ?seed ?use_memo ~strategy ctx q in
-  let eps = 1e-12 in
+  Urm_obs.Metrics.incr ~by:(List.length reps)
+    (Urm_obs.Metrics.counter (Urm_obs.Metrics.scope m "eunit") "representatives");
+  let env = Eunit.make_env ?seed ?use_memo ~metrics:m ~strategy ctx q in
+  let eps = Prob.eps in
   (* Candidate tuples with their accumulated lower bounds.  Tuples whose
      best possible probability (lb + UB) drops below τ are discarded. *)
   let table : (Value.t array, float ref) Hashtbl.t = Hashtbl.create 64 in
@@ -53,15 +57,18 @@ let run ?(strategy = Eunit.Sef) ?seed ?use_memo ~tau (ctx : Ctx.t) q ms =
   let answer = Answer.create (Reformulate.output_header q) in
   Hashtbl.iter (fun t r -> if !r >= tau -. eps then Answer.add answer t !r) table;
   let ctrs = Eunit.counters env in
+  let report =
+    {
+      Report.answer;
+      timings = { Report.rewrite; plan = 0.; evaluate; aggregate = 0. };
+      source_operators = ctrs.Eval.operators;
+      rows_produced = ctrs.Eval.rows_produced;
+      groups = List.length reps;
+    }
+  in
+  Report.record_metrics m report;
   {
-    report =
-      {
-        Report.answer;
-        timings = { Report.rewrite; plan = 0.; evaluate; aggregate = 0. };
-        source_operators = ctrs.Eval.operators;
-        rows_produced = ctrs.Eval.rows_produced;
-        groups = List.length reps;
-      };
+    report;
     visited_eunits = Eunit.eunits_created env;
     stopped_early = not finished;
   }

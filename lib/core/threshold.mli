@@ -18,11 +18,14 @@ type result = {
 }
 
 (** [run ~tau ctx q ms] with [0 < tau ≤ 1].
-    Raises [Invalid_argument] otherwise. *)
+    Raises [Invalid_argument] otherwise.  Counters and phase timers are
+    recorded under the ["threshold"] scope of [metrics] (default
+    {!Urm_obs.Metrics.global}). *)
 val run :
   ?strategy:Eunit.strategy ->
   ?seed:int ->
   ?use_memo:bool ->
+  ?metrics:Urm_obs.Metrics.t ->
   tau:float ->
   Ctx.t ->
   Query.t ->

@@ -6,17 +6,21 @@ type result = {
   stopped_early : bool;
 }
 
-let run ?(strategy = Eunit.Sef) ?seed ?use_memo ~k (ctx : Ctx.t) q ms =
+let run ?(strategy = Eunit.Sef) ?seed ?use_memo
+    ?(metrics = Urm_obs.Metrics.global) ~k (ctx : Ctx.t) q ms =
   if k <= 0 then invalid_arg "Topk.run: k must be positive";
+  let m = Urm_obs.Metrics.scope metrics "topk" in
   let reps, rewrite =
     Urm_util.Timer.time (fun () -> Qsharing.representatives ctx q ms)
   in
-  let env = Eunit.make_env ?seed ?use_memo ~strategy ctx q in
+  Urm_obs.Metrics.incr ~by:(List.length reps)
+    (Urm_obs.Metrics.counter (Urm_obs.Metrics.scope m "eunit") "representatives");
+  let env = Eunit.make_env ?seed ?use_memo ~metrics:m ~strategy ctx q in
   (* Candidate tuples with their accumulated lower-bound probability. *)
   let table : (Value.t array, float ref) Hashtbl.t = Hashtbl.create 64 in
   let ub = ref 1.0 in
   let lb = ref 0.0 in
-  let eps = 1e-12 in
+  let eps = Prob.eps in
   (* The k-th highest lower bound currently in the table ([0.] with fewer
      than k candidates), and whether at most k candidates can still reach
      the top-k (a candidate's best possible probability is lb + UB). *)
@@ -96,15 +100,18 @@ let run ?(strategy = Eunit.Sef) ?seed ?use_memo ~k (ctx : Ctx.t) q ms =
     table;
   Urm_util.Heap.iter (fun (t, p) -> Answer.add answer t p) heap;
   let ctrs = Eunit.counters env in
+  let report =
+    {
+      Report.answer;
+      timings = { Report.rewrite; plan = 0.; evaluate; aggregate = 0. };
+      source_operators = ctrs.Eval.operators;
+      rows_produced = ctrs.Eval.rows_produced;
+      groups = List.length reps;
+    }
+  in
+  Report.record_metrics m report;
   {
-    report =
-      {
-        Report.answer;
-        timings = { Report.rewrite; plan = 0.; evaluate; aggregate = 0. };
-        source_operators = ctrs.Eval.operators;
-        rows_produced = ctrs.Eval.rows_produced;
-        groups = List.length reps;
-      };
+    report;
     visited_eunits = Eunit.eunits_created env;
     stopped_early = not finished;
   }

@@ -19,10 +19,13 @@ type result = {
   stopped_early : bool;
 }
 
+(** Counters and phase timers are recorded under the ["topk"] scope of
+    [metrics] (default {!Urm_obs.Metrics.global}). *)
 val run :
   ?strategy:Eunit.strategy ->
   ?seed:int ->
   ?use_memo:bool ->
+  ?metrics:Urm_obs.Metrics.t ->
   k:int ->
   Ctx.t ->
   Query.t ->

@@ -1,0 +1,111 @@
+type counter = { c_name : string; mutable count : int }
+type timer = { t_name : string; mutable seconds : float; mutable calls : int }
+type span = { sp_timer : timer; sp_t0 : float }
+
+type registry = {
+  counters : (string, counter) Hashtbl.t;
+  timers : (string, timer) Hashtbl.t;
+}
+
+type t = { reg : registry; prefix : string }
+
+let create () =
+  { reg = { counters = Hashtbl.create 64; timers = Hashtbl.create 16 }; prefix = "" }
+
+let global = create ()
+let scope t name = { t with prefix = t.prefix ^ name ^ "/" }
+
+let in_scope t key =
+  let lp = String.length t.prefix in
+  lp = 0 || (String.length key >= lp && String.equal (String.sub key 0 lp) t.prefix)
+
+let reset t =
+  let drop tbl =
+    let keys = Hashtbl.fold (fun k _ acc -> if in_scope t k then k :: acc else acc) tbl [] in
+    List.iter (Hashtbl.remove tbl) keys
+  in
+  drop t.reg.counters;
+  drop t.reg.timers
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let counter t name =
+  let key = t.prefix ^ name in
+  match Hashtbl.find_opt t.reg.counters key with
+  | Some c -> c
+  | None ->
+    let c = { c_name = key; count = 0 } in
+    Hashtbl.add t.reg.counters key c;
+    c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let value c = c.count
+let counter_name c = c.c_name
+let find_counter t name = Option.map value (Hashtbl.find_opt t.reg.counters (t.prefix ^ name))
+
+(* ------------------------------------------------------------------ *)
+(* Timers and spans *)
+
+let timer t name =
+  let key = t.prefix ^ name in
+  match Hashtbl.find_opt t.reg.timers key with
+  | Some tm -> tm
+  | None ->
+    let tm = { t_name = key; seconds = 0.; calls = 0 } in
+    Hashtbl.add t.reg.timers key tm;
+    tm
+
+let record tm secs =
+  tm.seconds <- tm.seconds +. secs;
+  tm.calls <- tm.calls + 1
+
+let elapsed tm = tm.seconds
+let calls tm = tm.calls
+let timer_name tm = tm.t_name
+
+let span_begin tm = { sp_timer = tm; sp_t0 = Urm_util.Timer.now () }
+let span_end sp = record sp.sp_timer (Urm_util.Timer.now () -. sp.sp_t0)
+
+let time tm f =
+  let sp = span_begin tm in
+  Fun.protect ~finally:(fun () -> span_end sp) f
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let counters t =
+  Hashtbl.fold
+    (fun k c acc -> if in_scope t k then (k, c.count) :: acc else acc)
+    t.reg.counters []
+  |> List.sort by_name
+
+let timers t =
+  Hashtbl.fold
+    (fun k tm acc -> if in_scope t k then (k, (tm.seconds, tm.calls)) :: acc else acc)
+    t.reg.timers []
+  |> List.sort by_name
+
+let to_json t =
+  let open Urm_util.Json in
+  Obj
+    [
+      ( "counters",
+        Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) (counters t)) );
+      ( "timers",
+        Obj
+          (List.map
+             (fun (k, (s, n)) ->
+               (k, Obj [ ("seconds", Num s); ("count", Num (float_of_int n)) ]))
+             (timers t)) );
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-52s %12d@," k v) (counters t);
+  List.iter
+    (fun (k, (s, n)) -> Format.fprintf ppf "%-52s %10.4fs /%d@," k s n)
+    (timers t);
+  Format.fprintf ppf "@]"

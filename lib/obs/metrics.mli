@@ -1,0 +1,84 @@
+(** Operator-level observability: monotonic counters, accumulating
+    wall-clock timers and lightweight spans, grouped in a registry and
+    addressed through hierarchical name scopes.
+
+    Counter and timer names are flat strings; a {!scope} is a cheap view of
+    a registry that prefixes every name it touches with ["<name>/"], so the
+    same instrumentation code yields ["e-basic/relalg/op.select"] and
+    ["o-sharing/relalg/op.select"] depending on which algorithm scope it
+    ran under.  One {!global} registry is the default sink, so algorithms
+    can record without a handle being threaded through every call; a
+    harness that needs isolation (one snapshot per experiment) either
+    passes its own registry or {!reset}s a scope of the global one between
+    runs.
+
+    Handles returned by {!counter} and {!timer} are stable and cheap to hit
+    (a mutable record, no hashtable access), so hot paths resolve them once
+    and increment in O(1).  Counter names in use are documented in
+    DESIGN.md ("Metrics & observability"). *)
+
+type t
+(** A registry (or a scoped view of one). *)
+
+val create : unit -> t
+(** A fresh, empty registry with no prefix. *)
+
+val global : t
+(** The process-wide default registry. *)
+
+val scope : t -> string -> t
+(** [scope t name] views [t] with ["name/"] appended to the prefix. *)
+
+val reset : t -> unit
+(** Drop every counter and timer whose name lies under [t]'s prefix
+    (everything, for an unscoped registry).  Handles obtained before the
+    reset keep counting into detached objects; re-resolve after a reset. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Get or create the counter named [prefix ^ name]. *)
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+val find_counter : t -> string -> int option
+(** Current value of a counter by name, [None] if it was never created. *)
+
+(** {1 Timers and spans} *)
+
+type timer
+(** Accumulated seconds plus the number of recordings. *)
+
+type span
+(** One started timing interval. *)
+
+val timer : t -> string -> timer
+val record : timer -> float -> unit
+val elapsed : timer -> float
+val calls : timer -> int
+val timer_name : timer -> string
+
+val span_begin : timer -> span
+val span_end : span -> unit
+
+val time : timer -> (unit -> 'a) -> 'a
+(** [time tm f] runs [f] inside a span of [tm] (recorded even if [f]
+    raises). *)
+
+(** {1 Snapshots} *)
+
+val counters : t -> (string * int) list
+(** Counters under [t]'s prefix, sorted by name. *)
+
+val timers : t -> (string * (float * int)) list
+(** Timers under [t]'s prefix as [(name, (seconds, count))], sorted. *)
+
+val to_json : t -> Urm_util.Json.t
+(** [{"counters": {name: int, …}, "timers": {name: {"seconds": s,
+    "count": n}, …}}] — the [metrics.json] schema (see DESIGN.md). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,6 +1,46 @@
-type counters = { mutable operators : int; mutable rows_produced : int }
+(* Pre-resolved handles into the run's metrics scope, so the hot path never
+   touches the registry's hashtable. *)
+type op_metrics = {
+  ops : Urm_obs.Metrics.counter;
+  rows : Urm_obs.Metrics.counter;
+  op_select : Urm_obs.Metrics.counter;
+  sel_index : Urm_obs.Metrics.counter;
+  sel_scan : Urm_obs.Metrics.counter;
+  op_project : Urm_obs.Metrics.counter;
+  op_distinct : Urm_obs.Metrics.counter;
+  op_product : Urm_obs.Metrics.counter;
+  op_join : Urm_obs.Metrics.counter;
+  op_aggregate : Urm_obs.Metrics.counter;
+  op_groupby : Urm_obs.Metrics.counter;
+}
 
-let fresh_counters () = { operators = 0; rows_produced = 0 }
+type counters = {
+  mutable operators : int;
+  mutable rows_produced : int;
+  m : op_metrics;
+}
+
+let fresh_counters ?(metrics = Urm_obs.Metrics.global) () =
+  let m = Urm_obs.Metrics.scope metrics "relalg" in
+  let c name = Urm_obs.Metrics.counter m name in
+  {
+    operators = 0;
+    rows_produced = 0;
+    m =
+      {
+        ops = c "operators";
+        rows = c "rows_produced";
+        op_select = c "op.select";
+        sel_index = c "select.index_probe";
+        sel_scan = c "select.scan";
+        op_project = c "op.project";
+        op_distinct = c "op.distinct";
+        op_product = c "op.product";
+        op_join = c "op.join";
+        op_aggregate = c "op.aggregate";
+        op_groupby = c "op.groupby";
+      };
+  }
 
 let rec cols_of cat = function
   | Algebra.Base n -> Relation.cols (Catalog.find cat n)
@@ -85,13 +125,24 @@ let strip_prefix prefix col =
     Some (String.sub col lp (String.length col - lp))
   else None
 
-let count ctrs rel =
+(* [count ctrs kind rel] accounts one executed operator producing [rel];
+   [kind] selects the per-operator-kind counter.  The constant accessor
+   closures at the call sites compile to static closures — no allocation. *)
+let count ctrs kind rel =
   (match ctrs with
   | Some c ->
     c.operators <- c.operators + 1;
-    c.rows_produced <- c.rows_produced + Relation.cardinality rel
+    let n = Relation.cardinality rel in
+    c.rows_produced <- c.rows_produced + n;
+    Urm_obs.Metrics.incr c.m.ops;
+    Urm_obs.Metrics.incr ~by:n c.m.rows;
+    Urm_obs.Metrics.incr (kind c.m)
   | None -> ());
   rel
+
+(* Account an access-path decision of a selection (index probe vs scan). *)
+let bump ctrs kind =
+  match ctrs with Some c -> Urm_obs.Metrics.incr (kind c.m) | None -> ()
 
 let aggregate agg rel =
   let col_values col =
@@ -209,7 +260,7 @@ let hash_join ?ctrs cat eval_sub pred a b =
       let prod = Relation.product ra rb in
       Pred.eval_on prod pred
   in
-  count ctrs joined
+  count ctrs (fun m -> m.op_join) joined
 
 let optimize_pass = optimize
 
@@ -222,19 +273,27 @@ let eval ?ctrs ?(optimize = true) cat expr =
     | Algebra.Rename (p, inner) -> Relation.rename_prefix (go inner) p
     | Algebra.Select (p, inner) -> begin
       match indexed_select cat p inner with
-      | Some rel -> count ctrs rel
+      | Some rel ->
+        bump ctrs (fun m -> m.sel_index);
+        count ctrs (fun m -> m.op_select) rel
       | None ->
         let r = go inner in
-        count ctrs (Pred.eval_on r p)
+        bump ctrs (fun m -> m.sel_scan);
+        count ctrs (fun m -> m.op_select) (Pred.eval_on r p)
     end
-    | Algebra.Project (cs, inner) -> count ctrs (Relation.project (go inner) cs)
+    | Algebra.Project (cs, inner) ->
+      count ctrs (fun m -> m.op_project) (Relation.project (go inner) cs)
     | Algebra.Distinct (Algebra.Project (cs, inner)) when optimize ->
-      count ctrs (distinct_project cs inner)
-    | Algebra.Distinct inner -> count ctrs (Relation.distinct (go inner))
-    | Algebra.Product (a, b) -> count ctrs (Relation.product (go a) (go b))
+      count ctrs (fun m -> m.op_distinct) (distinct_project cs inner)
+    | Algebra.Distinct inner ->
+      count ctrs (fun m -> m.op_distinct) (Relation.distinct (go inner))
+    | Algebra.Product (a, b) ->
+      count ctrs (fun m -> m.op_product) (Relation.product (go a) (go b))
     | Algebra.Join (p, a, b) -> hash_join ?ctrs cat go p a b
-    | Algebra.Aggregate (a, inner) -> count ctrs (aggregate a (go inner))
-    | Algebra.GroupBy (keys, a, inner) -> count ctrs (group_by keys a (go inner))
+    | Algebra.Aggregate (a, inner) ->
+      count ctrs (fun m -> m.op_aggregate) (aggregate a (go inner))
+    | Algebra.GroupBy (keys, a, inner) ->
+      count ctrs (fun m -> m.op_groupby) (group_by keys a (go inner))
   (* Set-semantics projection over a Cartesian product factorises:
      δπ_C(A × B) = π_C(δπ_{C∩A}(A) × δπ_{C∩B}(B)), and a factor carrying no
      projected column only contributes an emptiness test.  This keeps the

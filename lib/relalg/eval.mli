@@ -10,12 +10,22 @@
     The operator counters feed the paper's Table IV ("# source operators
     executed"). *)
 
+(** Pre-resolved {!Urm_obs.Metrics} handles (per-operator-kind counts,
+    index probes vs scans, rows materialised) shared by all operators of
+    one run; see DESIGN.md "Metrics & observability" for the names. *)
+type op_metrics
+
 type counters = {
   mutable operators : int;  (** operator executions *)
   mutable rows_produced : int;  (** total rows output by all operators *)
+  m : op_metrics;
 }
 
-val fresh_counters : unit -> counters
+(** [fresh_counters ?metrics ()] zeroed counters whose observability
+    handles live under [metrics ^ "/relalg"] ([metrics] defaults to
+    {!Urm_obs.Metrics.global}; algorithms pass their own named scope so a
+    single run yields a per-algorithm breakdown). *)
+val fresh_counters : ?metrics:Urm_obs.Metrics.t -> unit -> counters
 
 (** [eval ?ctrs ?optimize cat e] evaluates [e] against [cat].
     [optimize] defaults to [true].  Raises [Not_found] for unknown base

@@ -54,7 +54,10 @@ let pop t =
   end;
   root
 
-let copy t = { cmp = t.cmp; data = Array.sub t.data 0 (Array.length t.data); size = t.size }
+(* Copy only the live prefix: slots past [size] may retain arbitrarily large
+   popped elements, and cloning the full capacity array would keep them
+   reachable in the copy. *)
+let copy t = { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size }
 
 let to_sorted_list t =
   let c = copy t in

@@ -20,6 +20,10 @@ val peek : 'a t -> 'a
 (** [pop t] removes and returns the root.  Raises [Not_found] if empty. *)
 val pop : 'a t -> 'a
 
+(** [copy t] an independent heap with the same elements; only the live
+    elements are cloned, never stale slots of the backing array. *)
+val copy : 'a t -> 'a t
+
 (** [to_sorted_list t] drains a copy of [t] in ascending order. *)
 val to_sorted_list : 'a t -> 'a list
 

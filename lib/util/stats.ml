@@ -24,9 +24,9 @@ let stddev xs =
   Welford.stddev w
 
 let percentile p xs =
-  assert (xs <> []);
+  if xs = [] then invalid_arg "Stats.percentile: empty input";
   let arr = Array.of_list xs in
-  Array.sort compare arr;
+  Array.sort Float.compare arr;
   let n = Array.length arr in
   if n = 1 then arr.(0)
   else begin
@@ -43,7 +43,8 @@ let entropy fractions =
     0. fractions
 
 let histogram ~buckets xs =
-  assert (buckets > 0 && xs <> []);
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
+  if xs = [] then invalid_arg "Stats.histogram: empty input";
   let lo = List.fold_left min infinity xs in
   let hi = List.fold_left max neg_infinity xs in
   let counts = Array.make buckets 0 in

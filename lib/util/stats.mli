@@ -20,7 +20,7 @@ val mean : float list -> float
 val stddev : float list -> float
 
 (** [percentile p xs] with [p] in [\[0,1\]], by linear interpolation on the
-    sorted data.  Requires [xs] non-empty. *)
+    sorted data.  Raises [Invalid_argument] on an empty list. *)
 val percentile : float -> float list -> float
 
 (** [entropy fractions] is [-Σ f log2 f] over the strictly positive entries;
@@ -28,5 +28,6 @@ val percentile : float -> float list -> float
 val entropy : float list -> float
 
 (** [histogram ~buckets xs] counts of [xs] over [buckets] equal-width bins
-    spanning \[min, max\].  Requires [xs] non-empty and [buckets > 0]. *)
+    spanning \[min, max\].  Raises [Invalid_argument] on an empty list or a
+    non-positive bucket count. *)
 val histogram : buckets:int -> float list -> int array

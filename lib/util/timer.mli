@@ -1,5 +1,8 @@
 (** Wall-clock timing helpers for the experiment harness. *)
 
+(** Current wall-clock time in seconds (the clock every helper below uses). *)
+val now : unit -> float
+
 (** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
 val time : (unit -> 'a) -> 'a * float
 

@@ -82,12 +82,84 @@ let test_heap_empty () =
   Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Heap.pop h));
   Alcotest.(check bool) "is_empty" true (Heap.is_empty h)
 
+let test_percentile_single () =
+  (* A single observation is every percentile. *)
+  Alcotest.(check (float 1e-9)) "p=0" 42. (Stats.percentile 0. [ 42. ]);
+  Alcotest.(check (float 1e-9)) "p=0.3" 42. (Stats.percentile 0.3 [ 42. ]);
+  Alcotest.(check (float 1e-9)) "p=1" 42. (Stats.percentile 1. [ 42. ])
+
+let test_percentile_empty () =
+  Alcotest.check_raises "empty input"
+    (Invalid_argument "Stats.percentile: empty input") (fun () ->
+      ignore (Stats.percentile 0.5 []))
+
+let test_histogram_top_edge () =
+  (* x = hi must land in the last bucket, not fall off the end. *)
+  let counts = Stats.histogram ~buckets:4 [ 0.; 1.; 2.; 3.; 4. ] in
+  Alcotest.(check (array int)) "top edge in last bucket" [| 1; 1; 1; 2 |] counts;
+  Alcotest.(check int) "no sample dropped" 5 (Array.fold_left ( + ) 0 counts)
+
+let test_histogram_all_equal () =
+  (* Zero-width range: everything in the first bucket, nothing crashes. *)
+  let counts = Stats.histogram ~buckets:3 [ 5.; 5.; 5. ] in
+  Alcotest.(check (array int)) "all in first bucket" [| 3; 0; 0 |] counts
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "non-positive buckets"
+    (Invalid_argument "Stats.histogram: buckets must be positive") (fun () ->
+      ignore (Stats.histogram ~buckets:0 [ 1. ]));
+  Alcotest.check_raises "empty input"
+    (Invalid_argument "Stats.histogram: empty input") (fun () ->
+      ignore (Stats.histogram ~buckets:4 []))
+
 let qcheck_heap =
   QCheck.Test.make ~name:"heap drains sorted" ~count:200
     QCheck.(list int)
     (fun xs ->
       let h = Urm_util.Heap.of_list compare xs in
       Urm_util.Heap.to_sorted_list h = List.sort compare xs)
+
+let qcheck_heap_push_pop =
+  (* Interleaved pushes and pops still drain in sorted order: pops always
+     remove the current minimum, so the final drain must equal sorting what
+     is left. *)
+  QCheck.Test.make ~name:"heap push/pop interleaved" ~count:200
+    QCheck.(list (pair int bool))
+    (fun ops ->
+      let h = Urm_util.Heap.create compare in
+      let model = ref [] in
+      let rec remove_one x = function
+        | [] -> []
+        | y :: rest -> if y = x then rest else y :: remove_one x rest
+      in
+      List.iter
+        (fun (x, pop) ->
+          if pop && not (Urm_util.Heap.is_empty h) then begin
+            let v = Urm_util.Heap.pop h in
+            let expected = List.fold_left min max_int !model in
+            if v <> expected then QCheck.Test.fail_report "pop not minimum";
+            model := remove_one expected !model
+          end
+          else begin
+            Urm_util.Heap.push h x;
+            model := x :: !model
+          end)
+        ops;
+      Urm_util.Heap.to_sorted_list h = List.sort compare !model)
+
+let qcheck_heap_copy_independent =
+  QCheck.Test.make ~name:"heap copy is independent" ~count:200
+    QCheck.(pair (list small_int) small_int)
+    (fun (xs, y) ->
+      let h = Urm_util.Heap.of_list compare xs in
+      let c = Urm_util.Heap.copy h in
+      (* Mutate the original: drain it and push something new. *)
+      while not (Urm_util.Heap.is_empty h) do
+        ignore (Urm_util.Heap.pop h)
+      done;
+      Urm_util.Heap.push h y;
+      Urm_util.Heap.to_sorted_list c = List.sort compare xs
+      && Urm_util.Heap.to_sorted_list h = [ y ])
 
 let qcheck_percentile_bounds =
   QCheck.Test.make ~name:"percentile within min/max" ~count:200
@@ -110,6 +182,13 @@ let suite =
     Alcotest.test_case "entropy" `Quick test_entropy;
     Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
     Alcotest.test_case "heap empty" `Quick test_heap_empty;
+    Alcotest.test_case "percentile single" `Quick test_percentile_single;
+    Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+    Alcotest.test_case "histogram top edge" `Quick test_histogram_top_edge;
+    Alcotest.test_case "histogram all equal" `Quick test_histogram_all_equal;
+    Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
     QCheck_alcotest.to_alcotest qcheck_heap;
+    QCheck_alcotest.to_alcotest qcheck_heap_push_pop;
+    QCheck_alcotest.to_alcotest qcheck_heap_copy_independent;
     QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
   ]

@@ -222,6 +222,60 @@ let qcheck_random_workload_queries_agree =
           Urm.Algorithms.Osharing Urm.Eunit.Sef;
         ])
 
+let test_osharing_metrics_agree () =
+  (* The metrics registry and Osharing's stats record are two views over
+     the same counters: they must agree exactly on a fixed-seed run, and
+     the per-kind operator counters must sum to the total. *)
+  let p = Lazy.force pipeline in
+  let target, q = Urm_workload.Queries.by_name "Q4" in
+  let ctx = Urm_workload.Pipeline.ctx p target in
+  let ms = Urm_workload.Pipeline.mappings p target ~h:10 in
+  let reg = Urm_obs.Metrics.create () in
+  let report, stats =
+    Urm.Osharing.run_with_stats ~seed:7 ~metrics:reg ctx q ms
+  in
+  let counter name =
+    match Urm_obs.Metrics.find_counter reg ("o-sharing/" ^ name) with
+    | Some v -> v
+    | None -> Alcotest.failf "counter o-sharing/%s not registered" name
+  in
+  Alcotest.(check int) "eunits" stats.Urm.Osharing.eunits
+    (counter "eunit/executions");
+  Alcotest.(check int) "memo hits" stats.Urm.Osharing.memo_hits
+    (counter "eunit/memo_hits");
+  Alcotest.(check int) "representatives" stats.Urm.Osharing.representatives
+    (counter "eunit/representatives");
+  Alcotest.(check int) "operators" report.Urm.Report.source_operators
+    (counter "relalg/operators");
+  Alcotest.(check int) "rows" report.Urm.Report.rows_produced
+    (counter "relalg/rows_produced");
+  Alcotest.(check bool) "e-units executed" true (counter "eunit/executions" > 0);
+  let kinds =
+    [ "op.select"; "op.project"; "op.distinct"; "op.product"; "op.join";
+      "op.aggregate"; "op.groupby" ]
+  in
+  Alcotest.(check int) "per-kind counters sum to total"
+    (counter "relalg/operators")
+    (List.fold_left (fun acc k -> acc + counter ("relalg/" ^ k)) 0 kinds);
+  (* Memo hits depend on operator ordering; the Random strategy across a few
+     seeds exercises them.  Whatever the count, the stats record and the
+     registry must agree. *)
+  List.iter
+    (fun seed ->
+      let reg = Urm_obs.Metrics.create () in
+      let _, stats =
+        Urm.Osharing.run_with_stats ~strategy:Urm.Eunit.Random ~seed
+          ~metrics:reg ctx q ms
+      in
+      let hits =
+        Option.value ~default:0
+          (Urm_obs.Metrics.find_counter reg "o-sharing/eunit/memo_hits")
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "memo hits agree (seed %d)" seed)
+        stats.Urm.Osharing.memo_hits hits)
+    [ 1; 2; 3; 4; 5; 6 ]
+
 let suite =
   [
     Alcotest.test_case "target schema sizes" `Quick test_target_schema_sizes;
@@ -235,5 +289,7 @@ let suite =
     Alcotest.test_case "experiments quick config" `Slow test_experiments_quick;
     Alcotest.test_case "hero rows" `Quick test_hero_rows_make_queries_satisfiable;
     Alcotest.test_case "monte-carlo validates workload" `Slow test_montecarlo_validates_workload;
+    Alcotest.test_case "o-sharing stats match metrics registry" `Quick
+      test_osharing_metrics_agree;
     QCheck_alcotest.to_alcotest qcheck_random_workload_queries_agree;
   ]
