@@ -337,6 +337,201 @@ let experiment_cmd =
   let doc = "Re-run the paper's experiments (see DESIGN.md for the index)." in
   Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id_t $ quick_t)
 
+(* ------------------------------------------------------------------ *)
+(* Query service *)
+
+let port_t =
+  let doc = "TCP port on the loopback interface (0 picks an ephemeral port)." in
+  Arg.(value & opt int 7411 & info [ "port"; "p" ] ~doc)
+
+let serve_cmd =
+  let run port workers queue_depth cache_size preload seed scale h metrics =
+    let cfg =
+      {
+        Urm_service.Server.default_config with
+        port;
+        queue_depth;
+        cache_capacity = cache_size;
+        workers =
+          (match workers with
+          | Some w -> w
+          | None -> Urm_service.Server.default_config.Urm_service.Server.workers);
+      }
+    in
+    let server = Urm_service.Server.start cfg in
+    List.iter
+      (fun target ->
+        match
+          Urm_service.Session.open_session
+            (Urm_service.Server.sessions server)
+            ~name:(String.lowercase_ascii target)
+            ~seed ~scale ~h ~target ()
+        with
+        | Ok (s, _) ->
+          Format.printf "session %s ready: %s over %s (%d rows, %d mappings)@."
+            s.Urm_service.Session.name s.Urm_service.Session.fingerprint target
+            s.Urm_service.Session.rows h
+        | Error msg ->
+          Format.eprintf "preload %s failed: %s@." target msg;
+          exit 1)
+      preload;
+    Format.printf "urm service listening on 127.0.0.1:%d (%d workers, queue %d)@."
+      (Urm_service.Server.port server)
+      cfg.Urm_service.Server.workers cfg.Urm_service.Server.queue_depth;
+    (* Ctrl-C begins the same graceful drain as a client shutdown request. *)
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Urm_service.Server.stop server));
+    Urm_service.Server.wait server;
+    let count, p50, p95 = Urm_service.Server.latency_summary server in
+    Format.printf "drained after %d requests (window %d: p50 %.4fs, p95 %.4fs)@."
+      (Option.value ~default:0
+         (Urm_obs.Metrics.find_counter
+            (Urm_obs.Metrics.scope Urm_obs.Metrics.global "service")
+            "requests"))
+      count p50 p95;
+    print_metrics metrics
+  in
+  let workers_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~doc:"Executor domains (default: per machine).")
+  in
+  let queue_t =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ]
+          ~doc:"Admission-queue bound; requests beyond it are rejected busy.")
+  in
+  let cache_t =
+    Arg.(value & opt int 256 & info [ "cache-size" ] ~doc:"Answer-cache entries.")
+  in
+  let preload_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "preload" ]
+          ~doc:
+            "Open a session for this target schema at boot (repeatable); named \
+             after the lowercased target.")
+  in
+  let doc = "Run the query service: sessions, answer cache, executor pool." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ port_t $ workers_t $ queue_t $ cache_t $ preload_t $ seed_t
+      $ scale_t $ h_t $ metrics_t)
+
+let request_cmd =
+  let run port op arg session target seed scale h alg answers k tau sql =
+    let module Json = Urm_util.Json in
+    let opt name v f = Option.map (fun v -> (name, f v)) v in
+    let params =
+      match op with
+      | "ping" | "metrics" | "sessions" | "shutdown" -> Ok []
+      | "open-session" ->
+        Ok
+          (List.filter_map Fun.id
+             [
+               Some ("target", Json.Str target);
+               opt "session" session (fun s -> Json.Str s);
+               Some ("seed", Json.Num (float_of_int seed));
+               Some ("scale", Json.Num scale);
+               Some ("h", Json.Num (float_of_int h));
+             ])
+      | "close-session" -> (
+        match session with
+        | Some s -> Ok [ ("session", Json.Str s) ]
+        | None -> Error "close-session needs --session")
+      | "query" | "topk" | "threshold" -> (
+        match (session, arg, sql) with
+        | None, _, _ -> Error (op ^ " needs --session")
+        | _, Some _, Some _ -> Error "give either a query name or --sql, not both"
+        | Some s, _, _ ->
+          Ok
+            (List.filter_map Fun.id
+               [
+                 Some ("session", Json.Str s);
+                 (match (arg, sql) with
+                 | Some q, _ -> Some ("query", Json.Str q)
+                 | None, Some text -> Some ("sql", Json.Str text)
+                 | None, None -> Some ("query", Json.Str "Q4"));
+                 (if String.equal op "query" then Some ("algorithm", Json.Str alg)
+                  else None);
+                 (if String.equal op "query" then
+                    Some ("answers", Json.Num (float_of_int answers))
+                  else None);
+                 (if String.equal op "topk" then
+                    Some ("k", Json.Num (float_of_int k))
+                  else None);
+                 (if String.equal op "threshold" then Some ("tau", Json.Num tau)
+                  else None);
+               ]))
+      | "raw" -> (
+        match arg with
+        | Some text -> (
+          match Json.parse text with
+          | Ok _ -> Ok [ ("__raw", Json.Str text) ]
+          | Error msg -> Error ("raw request is not JSON: " ^ msg))
+        | None -> Error "raw needs the request JSON as an argument")
+      | other -> Error ("unknown op " ^ other)
+    in
+    match params with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok params -> (
+      match Urm_service.Client.connect ~port () with
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "cannot connect to 127.0.0.1:%d: %s@." port
+          (Unix.error_message e);
+        exit 1
+      | client ->
+        let result =
+          match List.assoc_opt "__raw" params with
+          | Some (Json.Str raw) -> (
+            match Urm_service.Client.roundtrip client raw with
+            | Ok reply -> Ok (Json.parse_exn reply)
+            | Error msg -> Error ("transport", msg))
+          | _ -> Urm_service.Client.call client ~op params
+        in
+        Urm_service.Client.close client;
+        (match result with
+        | Ok json -> print_endline (Json.to_string json)
+        | Error (code, msg) ->
+          Format.eprintf "%s: %s@." code msg;
+          exit 1))
+  in
+  let op_t =
+    let doc =
+      "Operation: ping, open-session, close-session, sessions, query, topk, \
+       threshold, metrics, shutdown, or raw."
+    in
+    Arg.(value & pos 0 string "ping" & info [] ~docv:"OP" ~doc)
+  in
+  let arg_t =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"ARG" ~doc:"Query name (query/topk/threshold) or raw JSON.")
+  in
+  let session_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "session" ] ~doc:"Session name the request addresses.")
+  in
+  let answers_t =
+    Arg.(value & opt int 20 & info [ "answers" ] ~doc:"Answer tuples to return.")
+  in
+  let k_t = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Top-k size.") in
+  let tau_t =
+    Arg.(value & opt float 0.5 & info [ "tau" ] ~doc:"Probability threshold.")
+  in
+  let doc = "Send one request to a running urm service and print the reply." in
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(
+      const run $ port_t $ op_t $ arg_t $ session_t $ target_t $ seed_t $ scale_t
+      $ h_t $ algorithm_t $ answers_t $ k_t $ tau_t $ sql_t)
+
 let () =
   let doc = "probabilistic queries over uncertain schema matching (ICDE 2012)" in
   let info = Cmd.info "urm" ~version:"1.0.0" ~doc in
@@ -346,4 +541,5 @@ let () =
           [
             generate_cmd; match_cmd; mappings_cmd; query_cmd; plan_cmd; topk_cmd;
             threshold_cmd; export_cmd; save_mappings_cmd; experiment_cmd;
+            serve_cmd; request_cmd;
           ]))

@@ -1,0 +1,76 @@
+(* The query service, embedded: start a server in-process on an ephemeral
+   loopback port, talk to it over the wire protocol, and watch the answer
+   cache and latency metrics work.
+
+   The same server is what `urm serve` runs; the same protocol is what
+   `urm request` speaks.  Embedding it like this is how the smoke test and
+   any OCaml host process would use it.
+
+   Run with: dune exec examples/query_service.exe *)
+
+module Json = Urm_util.Json
+module Server = Urm_service.Server
+module Client = Urm_service.Client
+
+let show label = function
+  | Ok json -> Format.printf "%-12s -> %s@." label (Json.to_string json)
+  | Error (code, msg) -> Format.printf "%-12s -> error %s: %s@." label code msg
+
+let () =
+  (* Port 0 binds an ephemeral port — nothing else on the machine is
+     disturbed.  Four worker domains, a 64-deep admission queue. *)
+  let server =
+    Server.start { Server.default_config with port = 0; workers = 4 }
+  in
+  let port = Server.port server in
+  Format.printf "server listening on 127.0.0.1:%d@.@." port;
+
+  let c = Client.connect ~port () in
+  show "ping" (Client.call c ~op:"ping" []);
+
+  (* A session pins a matching workload: target schema, matcher seed,
+     scale and mapping count.  Its fingerprint — a stable hash of all of
+     those plus the mapping distribution — keys the answer cache. *)
+  let session = ("session", Json.Str "demo") in
+  show "open"
+    (Client.call c ~op:"open-session"
+       [
+         session;
+         ("target", Json.Str "Excel");
+         ("seed", Json.Num 42.);
+         ("scale", Json.Num 0.01);
+         ("h", Json.Num 8.);
+       ]);
+
+  (* First evaluation computes; the repeat is served from the cache
+     (spot the "cached":true and the seconds field). *)
+  let q1 = [ session; ("query", Json.Str "Q1") ] in
+  show "Q1 cold" (Client.call c ~op:"query" q1);
+  show "Q1 warm" (Client.call c ~op:"query" q1);
+
+  (* The cache key uses the canonical query, so the SQL spelling of Q1 —
+     even with the conjuncts reordered — hits the same entry. *)
+  show "Q1 as SQL"
+    (Client.call c ~op:"query"
+       [
+         session;
+         ( "sql",
+           Json.Str
+             "SELECT * FROM PO WHERE invoiceTo = 'Mary' AND priority = 2 AND \
+              telephone = '335-1736'" );
+       ]);
+
+  (* Top-k and threshold queries cache under their own variants. *)
+  show "top-3" (Client.call c ~op:"topk" [ session; ("query", Json.Str "Q2"); ("k", Json.Num 3.) ]);
+  show "tau=0.3"
+    (Client.call c ~op:"threshold"
+       [ session; ("query", Json.Str "Q2"); ("tau", Json.Num 0.3) ]);
+
+  (* Request counts, cache hit/miss/evict, queue depth and p50/p95. *)
+  show "metrics" (Client.call c ~op:"metrics" []);
+
+  (* Graceful drain: in-flight work finishes, then the pool exits. *)
+  show "shutdown" (Client.call c ~op:"shutdown" []);
+  Client.close c;
+  Server.wait server;
+  Format.printf "@.server drained.@."

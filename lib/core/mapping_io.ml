@@ -18,29 +18,50 @@ let to_json ms =
               ])
           ms))
 
+(* Serialisation rounds probabilities through shortest-round-trip decimal
+   text, so an honestly normalised set re-reads to a sum within float
+   noise; anything beyond this tolerance is a corrupt or hand-edited
+   file. *)
+let sum_eps = 1e-6
+
 let of_json text =
   let json = Json.parse_exn text in
-  List.map
-    (fun entry ->
-      let field name =
-        match Json.member name entry with
-        | Some v -> v
-        | None -> failwith ("Mapping_io: missing field " ^ name)
-      in
-      let pairs =
-        List.map
-          (fun pair ->
-            match Json.to_list pair with
-            | [ t; s ] -> (Json.to_str t, Json.to_str s)
-            | _ -> failwith "Mapping_io: pair must be [target, source]")
-          (Json.to_list (field "pairs"))
-      in
-      Mapping.make
-        ~id:(Json.to_int (field "id"))
-        ~prob:(Json.to_float (field "prob"))
-        ~score:(Json.to_float (field "score"))
-        pairs)
-    (Json.to_list json)
+  let ms =
+    List.map
+      (fun entry ->
+        let field name =
+          match Json.member name entry with
+          | Some v -> v
+          | None -> failwith ("Mapping_io: missing field " ^ name)
+        in
+        let pairs =
+          List.map
+            (fun pair ->
+              match Json.to_list pair with
+              | [ t; s ] -> (Json.to_str t, Json.to_str s)
+              | _ -> failwith "Mapping_io: pair must be [target, source]")
+            (Json.to_list (field "pairs"))
+        in
+        let prob = Json.to_float (field "prob") in
+        if not (prob >= 0. && prob <= 1.) then
+          failwith (Printf.sprintf "Mapping_io: probability %g outside [0,1]" prob);
+        match
+          Mapping.make
+            ~id:(Json.to_int (field "id"))
+            ~prob
+            ~score:(Json.to_float (field "score"))
+            pairs
+        with
+        | m -> m
+        | exception Invalid_argument msg -> failwith ("Mapping_io: " ^ msg))
+      (Json.to_list json)
+  in
+  if ms = [] then failwith "Mapping_io: empty mapping set";
+  let total = Mapping.total_prob ms in
+  if Float.abs (total -. 1.) > sum_eps then
+    failwith
+      (Printf.sprintf "Mapping_io: probabilities sum to %.9g, expected 1" total);
+  ms
 
 let save path ms =
   let oc = open_out path in

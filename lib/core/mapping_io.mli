@@ -8,8 +8,12 @@
 (** [to_json ms] compact JSON text. *)
 val to_json : Mapping.t list -> string
 
-(** [of_json text] raises [Failure] on malformed input or on mappings that
-    violate the one-to-one constraint. *)
+(** [of_json text] raises [Failure] on malformed JSON, missing or
+    ill-typed fields, mappings that violate the one-to-one constraint, an
+    empty mapping set, a probability outside [0,1], or probabilities that
+    do not sum to 1 (within serialisation tolerance).  The query service
+    reuses this format on the wire, so every error path must reject
+    cleanly rather than load a corrupt matching. *)
 val of_json : string -> Mapping.t list
 
 (** [save path ms] / [load path]: file round-trip. *)

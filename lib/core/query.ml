@@ -162,6 +162,42 @@ let operator_count q =
   List.length q.selections + List.length q.joins + List.length (products q)
   + (match (q.projection, q.aggregate) with None, None -> 0 | _ -> 1)
 
+(* Canonical text: identifies the query up to name and up to the order of
+   aliases, selections and join predicates (join sides are oriented
+   lexicographically).  Projection, aggregate and group-by order is
+   significant (it shapes the output) and is kept as written. *)
+let canonical q =
+  let buf = Buffer.create 128 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sorted to_str l = List.sort String.compare (List.map to_str l) in
+  add "aliases[%s]"
+    (String.concat ";" (sorted (fun (a, r) -> a ^ ":" ^ r) q.aliases));
+  add "sel[%s]"
+    (String.concat ";"
+       (sorted
+          (fun (ta, v) -> tattr_to_string ta ^ "=" ^ Value.to_string v)
+          q.selections));
+  add "join[%s]"
+    (String.concat ";"
+       (sorted
+          (fun (a, b) ->
+            let a = tattr_to_string a and b = tattr_to_string b in
+            if String.compare a b <= 0 then a ^ "~" ^ b else b ^ "~" ^ a)
+          q.joins));
+  (match q.projection with
+  | None -> ()
+  | Some p ->
+    add "proj[%s]" (String.concat ";" (List.map tattr_to_string p)));
+  (match q.aggregate with
+  | None -> ()
+  | Some Count -> add "agg[count]"
+  | Some (Sum ta) -> add "agg[sum:%s]" (tattr_to_string ta));
+  if q.group_by <> [] then
+    add "group[%s]" (String.concat ";" (List.map tattr_to_string q.group_by));
+  Buffer.contents buf
+
+let fingerprint q = Urm_util.Fnv.(to_hex (string (canonical q)))
+
 let pp ppf q =
   Format.fprintf ppf "@[<h>%s:" q.name;
   (match q.aggregate with

@@ -93,5 +93,15 @@ val operators : t -> op list
     products + aggregate/projection), for reporting. *)
 val operator_count : t -> int
 
+(** Canonical text of the query body: independent of the query's [name] and
+    of the order in which aliases, selections and join predicates were
+    written (join sides are oriented lexicographically), so two spellings
+    of the same query — e.g. a named workload query and its SQL rendering —
+    canonicalise identically.  The service answer cache keys on this. *)
+val canonical : t -> string
+
+(** Stable 64-bit digest of {!canonical} as 16 hex digits. *)
+val fingerprint : t -> string
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

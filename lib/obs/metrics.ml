@@ -9,6 +9,16 @@ type registry = {
 
 type t = { reg : registry; prefix : string }
 
+(* One process-wide lock serialises registry mutation (handle resolution,
+   reset), counter/timer updates and snapshots, so server worker domains can
+   share {!global} without torn or lost counts.  Contention is negligible:
+   the critical sections are a few loads and stores. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let create () =
   { reg = { counters = Hashtbl.create 64; timers = Hashtbl.create 16 }; prefix = "" }
 
@@ -20,48 +30,57 @@ let in_scope t key =
   lp = 0 || (String.length key >= lp && String.equal (String.sub key 0 lp) t.prefix)
 
 let reset t =
-  let drop tbl =
-    let keys = Hashtbl.fold (fun k _ acc -> if in_scope t k then k :: acc else acc) tbl [] in
-    List.iter (Hashtbl.remove tbl) keys
-  in
-  drop t.reg.counters;
-  drop t.reg.timers
+  locked (fun () ->
+      let drop tbl =
+        let keys =
+          Hashtbl.fold (fun k _ acc -> if in_scope t k then k :: acc else acc) tbl []
+        in
+        List.iter (Hashtbl.remove tbl) keys
+      in
+      drop t.reg.counters;
+      drop t.reg.timers)
 
 (* ------------------------------------------------------------------ *)
 (* Counters *)
 
 let counter t name =
   let key = t.prefix ^ name in
-  match Hashtbl.find_opt t.reg.counters key with
-  | Some c -> c
-  | None ->
-    let c = { c_name = key; count = 0 } in
-    Hashtbl.add t.reg.counters key c;
-    c
+  locked (fun () ->
+      match Hashtbl.find_opt t.reg.counters key with
+      | Some c -> c
+      | None ->
+        let c = { c_name = key; count = 0 } in
+        Hashtbl.add t.reg.counters key c;
+        c)
 
-let incr ?(by = 1) c = c.count <- c.count + by
-let value c = c.count
+let incr ?(by = 1) c = locked (fun () -> c.count <- c.count + by)
+let value c = locked (fun () -> c.count)
 let counter_name c = c.c_name
-let find_counter t name = Option.map value (Hashtbl.find_opt t.reg.counters (t.prefix ^ name))
+
+let find_counter t name =
+  locked (fun () ->
+      Option.map (fun c -> c.count) (Hashtbl.find_opt t.reg.counters (t.prefix ^ name)))
 
 (* ------------------------------------------------------------------ *)
 (* Timers and spans *)
 
 let timer t name =
   let key = t.prefix ^ name in
-  match Hashtbl.find_opt t.reg.timers key with
-  | Some tm -> tm
-  | None ->
-    let tm = { t_name = key; seconds = 0.; calls = 0 } in
-    Hashtbl.add t.reg.timers key tm;
-    tm
+  locked (fun () ->
+      match Hashtbl.find_opt t.reg.timers key with
+      | Some tm -> tm
+      | None ->
+        let tm = { t_name = key; seconds = 0.; calls = 0 } in
+        Hashtbl.add t.reg.timers key tm;
+        tm)
 
 let record tm secs =
-  tm.seconds <- tm.seconds +. secs;
-  tm.calls <- tm.calls + 1
+  locked (fun () ->
+      tm.seconds <- tm.seconds +. secs;
+      tm.calls <- tm.calls + 1)
 
-let elapsed tm = tm.seconds
-let calls tm = tm.calls
+let elapsed tm = locked (fun () -> tm.seconds)
+let calls tm = locked (fun () -> tm.calls)
 let timer_name tm = tm.t_name
 
 let span_begin tm = { sp_timer = tm; sp_t0 = Urm_util.Timer.now () }
@@ -74,18 +93,23 @@ let time tm f =
 (* ------------------------------------------------------------------ *)
 (* Snapshots *)
 
+(* Snapshots are taken under the lock and sorted by name, so the rendered
+   JSON (and pp output) is deterministic regardless of Hashtbl iteration
+   order or concurrent writers. *)
 let by_name (a, _) (b, _) = String.compare a b
 
 let counters t =
-  Hashtbl.fold
-    (fun k c acc -> if in_scope t k then (k, c.count) :: acc else acc)
-    t.reg.counters []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun k c acc -> if in_scope t k then (k, c.count) :: acc else acc)
+        t.reg.counters [])
   |> List.sort by_name
 
 let timers t =
-  Hashtbl.fold
-    (fun k tm acc -> if in_scope t k then (k, (tm.seconds, tm.calls)) :: acc else acc)
-    t.reg.timers []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun k tm acc -> if in_scope t k then (k, (tm.seconds, tm.calls)) :: acc else acc)
+        t.reg.timers [])
   |> List.sort by_name
 
 let to_json t =

@@ -15,7 +15,14 @@
     Handles returned by {!counter} and {!timer} are stable and cheap to hit
     (a mutable record, no hashtable access), so hot paths resolve them once
     and increment in O(1).  Counter names in use are documented in
-    DESIGN.md ("Metrics & observability"). *)
+    DESIGN.md ("Metrics & observability").
+
+    The module is safe for concurrent use from multiple domains: a single
+    process-wide mutex serialises registry mutation, counter/timer updates
+    and snapshots, so the query-service worker pool can share {!global}
+    without torn counts.  Snapshots ({!counters}, {!timers}, {!to_json},
+    {!pp}) are sorted by name, making rendered metrics byte-deterministic
+    for golden tests and diffs. *)
 
 type t
 (** A registry (or a scoped view of one). *)

@@ -41,6 +41,12 @@ let index t rname col =
     Hashtbl.replace t.indexes (rname, col) idx;
     idx
 
+let build_indexes t =
+  Hashtbl.iter
+    (fun name rel ->
+      Array.iter (fun col -> ignore (index t name col)) rel.Relation.cols)
+    t.tables
+
 let lookup t rname col v =
   let rel = find t rname in
   if t.use_indexes then begin

@@ -22,6 +22,12 @@ val total_rows : t -> int
     unknown relation or column. *)
 val index : t -> string -> string -> (Value.t, int list) Hashtbl.t
 
+(** [build_indexes t] eagerly builds the index of every column of every
+    stored relation.  A catalog is not safe for concurrent lazy index
+    construction (see {!index}); the query service calls this once at
+    session-open time so that evaluation workers only ever read. *)
+val build_indexes : t -> unit
+
 (** [lookup t rel col v] rows of [rel] whose [col] equals [v], via the
     index. *)
 val lookup : t -> string -> string -> Value.t -> Value.t array list

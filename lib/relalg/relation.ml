@@ -5,11 +5,11 @@ type t = {
   rows : Value.t array array;
 }
 
+(* Atomic so relations allocated by concurrent service workers still get
+   process-unique ids (the o-sharing memo table keys on them). *)
 let next_id =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
 
 let positions_of cols =
   let h = Hashtbl.create (Array.length cols) in

@@ -1,0 +1,35 @@
+module Metrics = Urm_obs.Metrics
+
+type t = {
+  lru : Urm_util.Json.t Lru.t;
+  hit : Metrics.counter;
+  miss : Metrics.counter;
+  evict : Metrics.counter;
+}
+
+let create ?(metrics = Metrics.scope Metrics.global "service") ~capacity () =
+  {
+    lru = Lru.create ~capacity;
+    hit = Metrics.counter metrics "cache.hit";
+    miss = Metrics.counter metrics "cache.miss";
+    evict = Metrics.counter metrics "cache.evict";
+  }
+
+let key ~session ~query ~algorithm ~variant =
+  String.concat "|"
+    [ session.Session.fingerprint; Urm.Query.fingerprint query; algorithm; variant ]
+
+let find t k =
+  match Lru.find t.lru k with
+  | Some _ as hit ->
+    Metrics.incr t.hit;
+    hit
+  | None ->
+    Metrics.incr t.miss;
+    None
+
+let add t k v =
+  let evicted = Lru.add t.lru k v in
+  if evicted <> [] then Metrics.incr ~by:(List.length evicted) t.evict
+
+let stats t = (Metrics.value t.hit, Metrics.value t.miss, Metrics.value t.evict)

@@ -1,0 +1,24 @@
+(** The service answer cache: LRU over fully-evaluated reply payloads.
+
+    Keys combine the session fingerprint, the canonical query text, the
+    algorithm and the evaluation variant (exact / top-k / threshold plus
+    its parameter), so a hit is guaranteed to be the byte-identical answer
+    a cold run would produce over the same state.  Hits, misses and
+    evictions are counted as [cache.hit], [cache.miss] and [cache.evict]
+    under the metrics scope given at creation (the server passes its
+    ["service"] scope). *)
+
+type t
+
+val create : ?metrics:Urm_obs.Metrics.t -> capacity:int -> unit -> t
+
+(** [key ~session ~query ~algorithm ~variant] — [variant] distinguishes
+    evaluation modes sharing a query, e.g. ["exact"], ["topk:5"],
+    ["threshold:0.3"]. *)
+val key :
+  session:Session.t -> query:Urm.Query.t -> algorithm:string -> variant:string ->
+  string
+
+val find : t -> string -> Urm_util.Json.t option
+val add : t -> string -> Urm_util.Json.t -> unit
+val stats : t -> int * int * int  (** (hits, misses, evictions) *)

@@ -1,0 +1,47 @@
+module Json = Urm_util.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 1;
+  }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let roundtrip c line =
+  match
+    output_string c.oc line;
+    output_char c.oc '\n';
+    flush c.oc;
+    input_line c.ic
+  with
+  | reply -> Ok reply
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let call c ~op params =
+  let id = Json.Num (float_of_int c.next_id) in
+  c.next_id <- c.next_id + 1;
+  let line = Json.to_string (Protocol.request ~id ~op params) in
+  match roundtrip c line with
+  | Error msg -> Error ("transport", msg)
+  | Ok reply -> (
+    match Protocol.parse_reply reply with
+    | Error msg -> Error ("transport", "malformed reply: " ^ msg)
+    | Ok (Protocol.Ok (_, result)) -> Ok result
+    | Ok (Protocol.Err (_, code, message)) -> Error (code, message))

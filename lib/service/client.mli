@@ -1,0 +1,27 @@
+(** A minimal synchronous client for the service wire protocol.
+
+    One request in flight at a time per client: {!call} writes a line and
+    blocks for the single matching reply, so no id-based demultiplexing is
+    needed.  Open several clients for concurrency (the smoke test drives
+    four from four threads). *)
+
+type t
+
+(** [connect ?host ~port ()] — raises [Unix.Unix_error] when nothing
+    listens there. *)
+val connect : ?host:string -> port:int -> unit -> t
+
+val close : t -> unit
+
+(** [call c ~op params] sends one request (with a fresh integer id) and
+    waits for its reply.  [Ok result] on success; [Error (code, message)]
+    for error replies and transport failures (code ["transport"]). *)
+val call :
+  t ->
+  op:string ->
+  (string * Urm_util.Json.t) list ->
+  (Urm_util.Json.t, string * string) result
+
+(** [roundtrip c line] raw exchange: send a pre-serialised request line,
+    return the raw reply line — the [urm request] batch mode. *)
+val roundtrip : t -> string -> (string, string) result

@@ -1,0 +1,24 @@
+(** A mutex-guarded LRU map from string keys to values.
+
+    Backing store for the service answer cache: bounded capacity, O(1)
+    lookup and insertion, least-recently-used eviction.  {!find} counts as
+    a use.  All operations are safe to call from concurrent domains. *)
+
+type 'a t
+
+(** [create ~capacity] — raises [Invalid_argument] when [capacity <= 0]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** [find t key] the cached value, promoting [key] to most recently used. *)
+val find : 'a t -> string -> 'a option
+
+(** [add t key v] binds [key], replacing any existing binding, and evicts
+    least-recently-used entries beyond capacity.  Returns the evicted
+    keys (at most one, except degenerate capacities). *)
+val add : 'a t -> string -> 'a -> string list
+
+(** Drop every entry. *)
+val clear : 'a t -> unit

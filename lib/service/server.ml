@@ -1,0 +1,531 @@
+module Json = Urm_util.Json
+module Metrics = Urm_obs.Metrics
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_depth : int;
+  cache_capacity : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7411;
+    workers = max 1 (min 4 (Domain.recommended_domain_count () - 1));
+    queue_depth = 64;
+    cache_capacity = 256;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connections *)
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wlock : Mutex.t;
+  mutable alive : bool;
+}
+
+let send conn line =
+  Mutex.lock conn.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wlock)
+    (fun () ->
+      if conn.alive then
+        try
+          output_string conn.oc line;
+          output_char conn.oc '\n';
+          flush conn.oc
+        with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
+
+(* [wake] unblocks a reader parked in [input_line] (EOF via shutdown);
+   the reader then runs [teardown], the single place the fd is closed. *)
+let wake conn =
+  Mutex.lock conn.wlock;
+  if conn.alive then
+    (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  Mutex.unlock conn.wlock
+
+let teardown conn =
+  Mutex.lock conn.wlock;
+  if conn.alive then begin
+    conn.alive <- false;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock conn.wlock
+
+(* ------------------------------------------------------------------ *)
+(* Sliding latency window for percentile reporting *)
+
+type ring = {
+  buf : float array;
+  mutable filled : int;
+  mutable next : int;
+  rlock : Mutex.t;
+}
+
+let ring_create n =
+  { buf = Array.make n 0.; filled = 0; next = 0; rlock = Mutex.create () }
+
+let ring_add r x =
+  Mutex.lock r.rlock;
+  r.buf.(r.next) <- x;
+  r.next <- (r.next + 1) mod Array.length r.buf;
+  r.filled <- min (r.filled + 1) (Array.length r.buf);
+  Mutex.unlock r.rlock
+
+let ring_to_list r =
+  Mutex.lock r.rlock;
+  let out = List.init r.filled (fun i -> r.buf.(i)) in
+  Mutex.unlock r.rlock;
+  out
+
+(* ------------------------------------------------------------------ *)
+
+type job = { jconn : conn; req : Protocol.request; enqueued : float }
+
+type t = {
+  cfg : config;
+  sock : Unix.file_descr;
+  bound_port : int;
+  session_catalog : Session.catalog;
+  cache : Cache.t;
+  requests : Metrics.counter;
+  rejected : Metrics.counter;
+  depth : Metrics.counter;
+  request_timer : Metrics.timer;
+  queue : job Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  mutable stopping : bool;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  conns_lock : Mutex.t;
+  lat : ring;
+  mutable workers : unit Domain.t array;
+  mutable acceptor : Thread.t option;
+}
+
+let port t = t.bound_port
+let sessions t = t.session_catalog
+
+let stop t =
+  Mutex.lock t.qlock;
+  if not t.stopping then begin
+    t.stopping <- true;
+    Condition.broadcast t.qcond
+  end;
+  Mutex.unlock t.qlock
+
+(* ------------------------------------------------------------------ *)
+(* Request execution *)
+
+type failure =
+  [ `Bad of string | `Not_found of string | `Conflict of string | `Error of string ]
+
+let algorithm_of_string = function
+  | "basic" -> Ok Urm.Algorithms.Basic
+  | "e-basic" -> Ok Urm.Algorithms.Ebasic
+  | "e-mqo" -> Ok Urm.Algorithms.Emqo
+  | "q-sharing" -> Ok Urm.Algorithms.Qsharing
+  | "o-sharing" -> Ok (Urm.Algorithms.Osharing Urm.Eunit.Sef)
+  | "o-sharing-snf" -> Ok (Urm.Algorithms.Osharing Urm.Eunit.Snf)
+  | "o-sharing-random" -> Ok (Urm.Algorithms.Osharing Urm.Eunit.Random)
+  | other -> Error (`Bad ("unknown algorithm " ^ other))
+
+let session_of t req : (Session.t, failure) result =
+  match Protocol.str_param req "session" with
+  | None -> Error (`Bad "missing \"session\"")
+  | Some name -> (
+    match Session.find t.session_catalog name with
+    | Some s -> Ok s
+    | None -> Error (`Not_found (Printf.sprintf "unknown session %S" name)))
+
+let query_of (session : Session.t) req : (Urm.Query.t, failure) result =
+  match (Protocol.str_param req "query", Protocol.str_param req "sql") with
+  | Some _, Some _ -> Error (`Bad "give either \"query\" or \"sql\", not both")
+  | None, None -> Error (`Bad "missing \"query\" or \"sql\"")
+  | Some name, None -> (
+    match Urm_workload.Queries.by_name name with
+    | exception Not_found -> Error (`Not_found ("unknown query " ^ name))
+    | target, q ->
+      if String.equal target.Urm_relalg.Schema.sname session.Session.target.Urm_relalg.Schema.sname
+      then Ok q
+      else
+        Error
+          (`Bad
+            (Printf.sprintf "query %s targets schema %s, session %S is over %s"
+               name target.Urm_relalg.Schema.sname session.Session.name
+               session.Session.target_name)))
+  | None, Some text -> (
+    match Urm.Sql.parse ~name:"wire" ~target:session.Session.target text with
+    | Ok q -> Ok q
+    | Error e -> Error (`Bad (Format.asprintf "%a" Urm.Sql.pp_error e)))
+
+let answers_json answer limit =
+  Json.Arr
+    (List.map
+       (fun (tuple, p) ->
+         Json.Obj
+           [
+             ( "tuple",
+               Json.Arr (List.map Protocol.value_to_json (Array.to_list tuple)) );
+             ("prob", Json.Num p);
+           ])
+       (Urm.Answer.top_k answer limit))
+
+let with_cached payload cached =
+  match payload with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("cached", Json.Bool cached) ])
+  | other -> other
+
+let answers_limit req =
+  Option.value ~default:20 (Protocol.int_param req "answers")
+
+(* Cached-or-computed evaluation: [variant] makes the cache key, [compute]
+   builds the payload on a miss. *)
+let cached_eval t session q ~algorithm ~variant compute =
+  let key = Cache.key ~session ~query:q ~algorithm ~variant in
+  match Cache.find t.cache key with
+  | Some payload -> with_cached payload true
+  | None ->
+    let payload = compute () in
+    Cache.add t.cache key payload;
+    with_cached payload false
+
+let exec_query t req : (Json.t, failure) result =
+  match session_of t req with
+  | Error _ as e -> e
+  | Ok session -> (
+    match query_of session req with
+    | Error _ as e -> e
+    | Ok q -> (
+      let alg_name =
+        Option.value ~default:"o-sharing" (Protocol.str_param req "algorithm")
+      in
+      match algorithm_of_string alg_name with
+      | Error _ as e -> e
+      | Ok alg ->
+        let limit = answers_limit req in
+        let variant = "exact:" ^ string_of_int limit in
+        Ok
+          (cached_eval t session q ~algorithm:alg_name ~variant (fun () ->
+               let report =
+                 Urm.Algorithms.run alg session.Session.ctx q
+                   session.Session.mappings
+               in
+               let answer = report.Urm.Report.answer in
+               Json.Obj
+                 [
+                   ("query", Json.Str (Urm.Query.to_string q));
+                   ("algorithm", Json.Str alg_name);
+                   ("size", Json.Num (float_of_int (Urm.Answer.size answer)));
+                   ("null_prob", Json.Num (Urm.Answer.null_prob answer));
+                   ("answers", answers_json answer limit);
+                   ( "seconds",
+                     Json.Num (Urm.Report.total report.Urm.Report.timings) );
+                 ]))))
+
+let exec_topk t req : (Json.t, failure) result =
+  match session_of t req with
+  | Error _ as e -> e
+  | Ok session -> (
+    match query_of session req with
+    | Error _ as e -> e
+    | Ok q ->
+      let k = Option.value ~default:5 (Protocol.int_param req "k") in
+      if k <= 0 then Error (`Bad "\"k\" must be positive")
+      else
+        let variant = "topk:" ^ string_of_int k in
+        Ok
+          (cached_eval t session q ~algorithm:"topk" ~variant (fun () ->
+               let r =
+                 Urm.Topk.run ~k session.Session.ctx q session.Session.mappings
+               in
+               let answer = r.Urm.Topk.report.Urm.Report.answer in
+               Json.Obj
+                 [
+                   ("query", Json.Str (Urm.Query.to_string q));
+                   ("k", Json.Num (float_of_int k));
+                   ("answers", answers_json answer k);
+                   ("stopped_early", Json.Bool r.Urm.Topk.stopped_early);
+                   ( "visited_eunits",
+                     Json.Num (float_of_int r.Urm.Topk.visited_eunits) );
+                 ])))
+
+let exec_threshold t req : (Json.t, failure) result =
+  match session_of t req with
+  | Error _ as e -> e
+  | Ok session -> (
+    match query_of session req with
+    | Error _ as e -> e
+    | Ok q -> (
+      match Protocol.float_param req "tau" with
+      | None -> Error (`Bad "missing \"tau\"")
+      | Some tau when not (tau > 0. && tau <= 1.) ->
+        Error (`Bad "\"tau\" must lie in (0, 1]")
+      | Some tau ->
+        let variant = Printf.sprintf "threshold:%h" tau in
+        Ok
+          (cached_eval t session q ~algorithm:"threshold" ~variant (fun () ->
+               let r =
+                 Urm.Threshold.run ~tau session.Session.ctx q
+                   session.Session.mappings
+               in
+               let answer = r.Urm.Threshold.report.Urm.Report.answer in
+               Json.Obj
+                 [
+                   ("query", Json.Str (Urm.Query.to_string q));
+                   ("tau", Json.Num tau);
+                   ("answers", answers_json answer max_int);
+                   ("stopped_early", Json.Bool r.Urm.Threshold.stopped_early);
+                 ]))))
+
+let exec_open_session t req : (Json.t, failure) result =
+  match Protocol.str_param req "target" with
+  | None -> Error (`Bad "missing \"target\"")
+  | Some target -> (
+    let name = Protocol.str_param req "session" in
+    let seed = Protocol.int_param req "seed" in
+    let scale = Protocol.float_param req "scale" in
+    let h = Protocol.int_param req "h" in
+    match Session.open_session t.session_catalog ?name ?seed ?scale ?h ~target () with
+    | Error msg -> Error (`Conflict msg)
+    | Ok (s, created) -> (
+      match Session.to_json s with
+      | Json.Obj fields -> Ok (Json.Obj (fields @ [ ("created", Json.Bool created) ]))
+      | other -> Ok other))
+
+let percentile_or_zero p = function [] -> 0. | xs -> Urm_util.Stats.percentile p xs
+
+let latency_summary t =
+  let lats = ring_to_list t.lat in
+  (List.length lats, percentile_or_zero 0.5 lats, percentile_or_zero 0.95 lats)
+
+let exec_metrics t : Json.t =
+  let count, p50, p95 = latency_summary t in
+  let hits, misses, evictions = Cache.stats t.cache in
+  let num f = Json.Num (float_of_int f) in
+  Json.Obj
+    [
+      ("requests", num (Metrics.value t.requests));
+      ( "latency",
+        Json.Obj
+          [
+            ("count", num count);
+            ("p50", Json.Num p50);
+            ("p95", Json.Num p95);
+            ("mean", Json.Num (Urm_util.Stats.mean (ring_to_list t.lat)));
+          ] );
+      ( "cache",
+        Json.Obj [ ("hit", num hits); ("miss", num misses); ("evict", num evictions) ]
+      );
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", num (Metrics.value t.depth));
+            ("rejected", num (Metrics.value t.rejected));
+          ] );
+      ("sessions", num (List.length (Session.list t.session_catalog)));
+    ]
+
+let execute t (req : Protocol.request) : (Json.t, failure) result =
+  match req.op with
+  | "ping" -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
+  | "open-session" -> exec_open_session t req
+  | "close-session" -> (
+    match Protocol.str_param req "session" with
+    | None -> Error (`Bad "missing \"session\"")
+    | Some name ->
+      if Session.close t.session_catalog name then
+        Ok (Json.Obj [ ("closed", Json.Str name) ])
+      else Error (`Not_found (Printf.sprintf "unknown session %S" name)))
+  | "sessions" ->
+    Ok
+      (Json.Obj
+         [
+           ( "sessions",
+             Json.Arr (List.map Session.to_json (Session.list t.session_catalog)) );
+         ])
+  | "query" -> exec_query t req
+  | "topk" -> exec_topk t req
+  | "threshold" -> exec_threshold t req
+  | "metrics" -> Ok (exec_metrics t)
+  | "shutdown" ->
+    stop t;
+    Ok (Json.Obj [ ("draining", Json.Bool true) ])
+  | other -> Error (`Bad ("unknown op " ^ other))
+
+(* ------------------------------------------------------------------ *)
+(* Executor pool *)
+
+let handle t job =
+  let id = job.req.Protocol.id in
+  let reply =
+    match execute t job.req with
+    | Ok result -> Protocol.ok ~id result
+    | Error (`Bad m) -> Protocol.error ~id ~code:"bad_request" m
+    | Error (`Not_found m) -> Protocol.error ~id ~code:"not_found" m
+    | Error (`Conflict m) -> Protocol.error ~id ~code:"conflict" m
+    | Error (`Error m) -> Protocol.error ~id ~code:"error" m
+    | exception Failure m -> Protocol.error ~id ~code:"bad_request" m
+    | exception Invalid_argument m -> Protocol.error ~id ~code:"bad_request" m
+    | exception Not_found -> Protocol.error ~id ~code:"not_found" "not found"
+    | exception exn -> Protocol.error ~id ~code:"error" (Printexc.to_string exn)
+  in
+  send job.jconn reply;
+  let dt = Urm_util.Timer.now () -. job.enqueued in
+  Metrics.record t.request_timer dt;
+  Metrics.incr t.requests;
+  ring_add t.lat dt
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.qlock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.qcond t.qlock
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.qlock (* drained, stopping *)
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.qlock;
+      Metrics.incr ~by:(-1) t.depth;
+      handle t job;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Admission and connection readers *)
+
+let enqueue t conn req =
+  Mutex.lock t.qlock;
+  if t.stopping then begin
+    Mutex.unlock t.qlock;
+    send conn
+      (Protocol.error ~id:req.Protocol.id ~code:"unavailable" "server is draining")
+  end
+  else if Queue.length t.queue >= t.cfg.queue_depth then begin
+    Mutex.unlock t.qlock;
+    Metrics.incr t.rejected;
+    send conn
+      (Protocol.error ~id:req.Protocol.id ~code:"busy" "admission queue is full")
+  end
+  else begin
+    Queue.push { jconn = conn; req; enqueued = Urm_util.Timer.now () } t.queue;
+    Condition.signal t.qcond;
+    Mutex.unlock t.qlock;
+    Metrics.incr t.depth
+  end
+
+let reader t conn =
+  let rec loop () =
+    match input_line conn.ic with
+    | line ->
+      (if not (String.equal (String.trim line) "") then
+         match Protocol.parse_request line with
+         | Error msg ->
+           send conn
+             (Protocol.error ~id:Json.Null ~code:"bad_request"
+                ("malformed request: " ^ msg))
+         | Ok req -> enqueue t conn req);
+      loop ()
+    | exception (End_of_file | Sys_error _) -> ()
+  in
+  loop ();
+  teardown conn
+
+let acceptor_loop t () =
+  let stopping () =
+    Mutex.lock t.qlock;
+    let s = t.stopping in
+    Mutex.unlock t.qlock;
+    s
+  in
+  let rec loop () =
+    if stopping () then ()
+    else begin
+      (* Short select timeout so a drain is noticed promptly even with no
+         incoming connections. *)
+      (match Unix.select [ t.sock ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.sock with
+        | fd, _ ->
+          let conn =
+            {
+              fd;
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+              wlock = Mutex.create ();
+              alive = true;
+            }
+          in
+          Mutex.lock t.conns_lock;
+          t.conns <- conn :: t.conns;
+          t.readers <- Thread.create (reader t) conn :: t.readers;
+          Mutex.unlock t.conns_lock
+        | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close t.sock with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+
+let start ?(metrics = Metrics.scope Metrics.global "service") (cfg : config) =
+  if cfg.workers <= 0 then invalid_arg "Server.start: workers must be positive";
+  if cfg.queue_depth <= 0 then invalid_arg "Server.start: queue_depth must be positive";
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+  Unix.listen sock 64;
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  let t =
+    {
+      cfg;
+      sock;
+      bound_port;
+      session_catalog = Session.create_catalog ();
+      cache = Cache.create ~metrics ~capacity:cfg.cache_capacity ();
+      requests = Metrics.counter metrics "requests";
+      rejected = Metrics.counter metrics "queue.rejected";
+      depth = Metrics.counter metrics "queue.depth";
+      request_timer = Metrics.timer metrics "phase.request";
+      queue = Queue.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      stopping = false;
+      conns = [];
+      readers = [];
+      conns_lock = Mutex.create ();
+      lat = ring_create 4096;
+      workers = [||];
+      acceptor = None;
+    }
+  in
+  t.workers <- Array.init cfg.workers (fun _ -> Domain.spawn (worker_loop t));
+  t.acceptor <- Some (Thread.create (acceptor_loop t) ());
+  t
+
+let wait t =
+  (match t.acceptor with Some th -> Thread.join th | None -> ());
+  Array.iter Domain.join t.workers;
+  Mutex.lock t.conns_lock;
+  let conns = t.conns and readers = t.readers in
+  t.conns <- [];
+  t.readers <- [];
+  Mutex.unlock t.conns_lock;
+  List.iter wake conns;
+  List.iter Thread.join readers;
+  List.iter teardown conns

@@ -1,0 +1,56 @@
+(** The concurrent query service.
+
+    A server owns a loopback TCP listening socket speaking the
+    {!Protocol} wire format, a {!Session} catalog, a {!Cache} of answers,
+    and an executor pool of OCaml domains fed by a bounded admission
+    queue.  Per-connection reader threads parse request lines and enqueue
+    jobs; when the queue is at [queue_depth] the request is rejected
+    immediately with a [busy] error instead of building unbounded backlog.
+    Worker domains pop jobs, evaluate them over the (immutable, shared)
+    session state, and write the reply under a per-connection lock.
+
+    Request latency (admission to reply, seconds) is recorded in the
+    ["service"] metrics scope as the [phase.request] timer and in a
+    sliding window from which {!latency_summary} derives p50/p95.
+    Counters: [requests], [cache.{hit,miss,evict}],
+    [queue.{depth,rejected}].
+
+    Shutdown — {!stop}, or a client [shutdown] request — is a graceful
+    drain: no further admissions, queued work completes and is answered,
+    then workers exit and connections are closed. *)
+
+type config = {
+  host : string;  (** loopback interface, default ["127.0.0.1"] *)
+  port : int;  (** [0] binds an ephemeral port; see {!port} *)
+  workers : int;  (** executor domains *)
+  queue_depth : int;  (** admission-queue bound; beyond it requests get [busy] *)
+  cache_capacity : int;  (** answer-cache entries *)
+}
+
+val default_config : config
+
+type t
+
+(** [start ?metrics config] binds, listens and returns immediately with
+    the pool running.  [metrics] defaults to the ["service"] scope of
+    {!Urm_obs.Metrics.global}.  Raises [Unix.Unix_error] when the port is
+    taken. *)
+val start : ?metrics:Urm_obs.Metrics.t -> config -> t
+
+(** The actually-bound port (differs from [config.port] when that was 0). *)
+val port : t -> int
+
+(** The server's session catalog — lets an embedding process (CLI preload,
+    tests, examples) open sessions without a round-trip. *)
+val sessions : t -> Session.catalog
+
+(** Begin graceful drain; returns immediately. Idempotent. *)
+val stop : t -> unit
+
+(** Block until the server has fully drained and every worker, reader and
+    acceptor has exited.  Returns only after {!stop} (or a client
+    [shutdown] request) initiated the drain. *)
+val wait : t -> unit
+
+(** [(count, p50, p95)] over the recent-latency window, seconds. *)
+val latency_summary : t -> int * float * float

@@ -1,0 +1,116 @@
+type t = {
+  name : string;
+  fingerprint : string;
+  target_name : string;
+  target : Urm_relalg.Schema.t;
+  ctx : Urm.Ctx.t;
+  mappings : Urm.Mapping.t list;
+  seed : int;
+  scale : float;
+  h : int;
+  rows : int;
+}
+
+type catalog = {
+  sessions : (string, t) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create_catalog () = { sessions = Hashtbl.create 8; lock = Mutex.create () }
+
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let fingerprint_of ~target_name ~seed:sd ~scale ~h mappings =
+  let open Urm_util.Fnv in
+  let d = seed in
+  let d = add_string d target_name in
+  let d = add_int d sd in
+  let d = add_float d scale in
+  let d = add_int d h in
+  let d = add_string d (Urm.Mapping_io.to_json mappings) in
+  to_hex d
+
+let same_params s ~target_name ~seed ~scale ~h =
+  String.equal s.target_name target_name
+  && s.seed = seed
+  && Float.equal s.scale scale
+  && s.h = h
+
+let build ~name ~target_name ~target ~seed ~scale ~h =
+  let pipeline = Urm_workload.Pipeline.create ~seed ~scale () in
+  let ctx = Urm_workload.Pipeline.ctx pipeline target in
+  let mappings = Urm_workload.Pipeline.mappings pipeline target ~h in
+  (* Indexes must exist before concurrent evaluation: lazy construction
+     inside a worker would race (Catalog is a plain Hashtbl). *)
+  Urm_relalg.Catalog.build_indexes ctx.Urm.Ctx.catalog;
+  let fingerprint = fingerprint_of ~target_name ~seed ~scale ~h mappings in
+  let name = match name with Some n -> n | None -> String.sub fingerprint 0 12 in
+  {
+    name;
+    fingerprint;
+    target_name;
+    target;
+    ctx;
+    mappings;
+    seed;
+    scale;
+    h;
+    rows = Urm_workload.Pipeline.instance_rows pipeline;
+  }
+
+let open_session c ?name ?(seed = 42) ?(scale = Urm_tpch.Gen.default_scale)
+    ?(h = 100) ~target () =
+  match Urm_workload.Targets.by_name target with
+  | exception Not_found ->
+    Error (Printf.sprintf "unknown target schema %S (Excel|Noris|Paragon)" target)
+  | target_schema ->
+    let target_name = target in
+    locked c (fun () ->
+        let existing = Option.bind name (Hashtbl.find_opt c.sessions) in
+        match existing with
+        | Some s when same_params s ~target_name ~seed ~scale ~h -> Ok (s, false)
+        | Some s ->
+          Error
+            (Printf.sprintf
+               "session %S already open with different parameters (target %s, \
+                seed %d, scale %g, h %d)"
+               s.name s.target_name s.seed s.scale s.h)
+        | None ->
+          let s = build ~name ~target_name ~target:target_schema ~seed ~scale ~h in
+          (match Hashtbl.find_opt c.sessions s.name with
+          | Some clash when not (same_params clash ~target_name ~seed ~scale ~h) ->
+            (* Only reachable for a derived (fingerprint) name, which cannot
+               clash with different parameters; named clashes were caught
+               above. *)
+            Error (Printf.sprintf "session name %S collision" s.name)
+          | Some clash -> Ok (clash, false)
+          | None ->
+            Hashtbl.replace c.sessions s.name s;
+            Ok (s, true)))
+
+let find c name = locked c (fun () -> Hashtbl.find_opt c.sessions name)
+
+let close c name =
+  locked c (fun () ->
+      let present = Hashtbl.mem c.sessions name in
+      Hashtbl.remove c.sessions name;
+      present)
+
+let list c =
+  locked c (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) c.sessions [])
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let to_json s =
+  let open Urm_util.Json in
+  Obj
+    [
+      ("session", Str s.name);
+      ("fingerprint", Str s.fingerprint);
+      ("target", Str s.target_name);
+      ("seed", Num (float_of_int s.seed));
+      ("scale", Num s.scale);
+      ("mappings", Num (float_of_int s.h));
+      ("rows", Num (float_of_int s.rows));
+    ]

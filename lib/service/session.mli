@@ -1,0 +1,62 @@
+(** The session catalog: named, long-lived query contexts.
+
+    A session is the expensive per-instance state the paper's sharing
+    techniques amortise {e within} one query — generated source instance,
+    matcher + Murty mapping set, hash indexes — built once at open time and
+    then shared read-only across the whole query stream.  Opening is the
+    only mutating operation and is serialised by the catalog lock; after
+    {!open_session} returns, every field of {!t} is immutable, so executor
+    domains evaluate over it concurrently without further locking.
+
+    A session is identified by a stable fingerprint: an FNV-1a digest of
+    the target schema, generation seed, scale, h and the full mapping-set
+    JSON.  Equal parameters always produce equal fingerprints (generation
+    is deterministic), and the answer cache keys on the fingerprint, so
+    cached answers survive close/reopen of an identical session. *)
+
+type t = private {
+  name : string;
+  fingerprint : string;  (** 16 hex digits, see {!Urm_util.Fnv} *)
+  target_name : string;
+  target : Urm_relalg.Schema.t;
+  ctx : Urm.Ctx.t;
+  mappings : Urm.Mapping.t list;
+  seed : int;
+  scale : float;
+  h : int;
+  rows : int;  (** total tuples of the generated source instance *)
+}
+
+type catalog
+
+val create_catalog : unit -> catalog
+
+(** [open_session catalog ?name ?seed ?scale ?h ~target ()] finds or
+    builds a session.  Defaults: seed 42, scale
+    {!Urm_tpch.Gen.default_scale}, h 100, name derived from the
+    fingerprint.  Returns [(session, created)] where [created] is [false]
+    when an identical session (same name, same parameters) already
+    existed.  [Error]s: unknown target schema, or an existing session of
+    the same name with different parameters.  Building is serialised:
+    concurrent opens of the same name block and then observe the winner. *)
+val open_session :
+  catalog ->
+  ?name:string ->
+  ?seed:int ->
+  ?scale:float ->
+  ?h:int ->
+  target:string ->
+  unit ->
+  (t * bool, string) result
+
+val find : catalog -> string -> t option
+
+(** [close catalog name] drops the session; [false] when absent.  Cached
+    answers keyed by its fingerprint remain valid (the fingerprint pins
+    the exact state they were computed over). *)
+val close : catalog -> string -> bool
+
+(** All open sessions, sorted by name. *)
+val list : catalog -> t list
+
+val to_json : t -> Urm_util.Json.t

@@ -1,0 +1,18 @@
+type t = int64
+
+let seed = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let add_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let add_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := add_byte !h (Char.code c)) s;
+  (* Separator byte so ["ab";"c"] and ["a";"bc"] differ. *)
+  add_byte !h 0x1f
+
+let add_int h i = add_string h (string_of_int i)
+let add_float h f = add_string h (Printf.sprintf "%h" f)
+let string s = add_string seed s
+let to_hex h = Printf.sprintf "%016Lx" h

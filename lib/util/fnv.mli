@@ -1,0 +1,27 @@
+(** Stable 64-bit FNV-1a hashing.
+
+    Unlike [Hashtbl.hash], the digest is defined by the input bytes alone —
+    independent of OCaml version, word size and process — so it is usable
+    as a persistent fingerprint (session identity, cache keys on the
+    service wire).  Not cryptographic: collisions are unlikely, not
+    impossible. *)
+
+type t = int64
+
+val seed : t
+(** The FNV-1a offset basis; starting state for {!add_string}. *)
+
+val add_string : t -> string -> t
+(** Fold the bytes of a string into the digest. *)
+
+val add_int : t -> int -> t
+(** Fold an integer (its decimal rendering, so it is platform-stable). *)
+
+val add_float : t -> float -> t
+(** Fold a float via its shortest round-trip decimal rendering. *)
+
+val string : string -> t
+(** [string s] = [add_string seed s]. *)
+
+val to_hex : t -> string
+(** 16 lowercase hex digits. *)

@@ -1,0 +1,179 @@
+(* End-to-end smoke test for the query service (dune @smoke, part of
+   @runtest): start a server on an ephemeral loopback port, drive it with
+   four concurrent clients sharing one session, and check that
+
+   - every scripted request in the batch succeeds,
+   - all clients get identical answers for the same query,
+   - a repeated query is served from the answer cache (cache.hit > 0)
+     with answers identical to the cold run,
+   - the metrics op reports request counts and p50/p95 latency,
+   - shutdown drains gracefully.
+
+   Exit code 0 on success, 1 with a diagnostic on any failure. *)
+
+module Json = Urm_util.Json
+module Client = Urm_service.Client
+module Server = Urm_service.Server
+
+let failures = ref 0
+
+let check label ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "smoke: FAIL %s\n%!" label
+  end
+
+let get_exn label = function
+  | Ok v -> v
+  | Error (code, msg) ->
+    incr failures;
+    Printf.eprintf "smoke: FAIL %s: %s: %s\n%!" label code msg;
+    Json.Null
+
+let member name json = Option.value ~default:Json.Null (Json.member name json)
+
+let num name json =
+  match member name json with Json.Num f -> f | _ -> Float.nan
+
+(* The answer payload minus the volatile fields: what must be identical
+   between clients and between a cold and a cached run. *)
+let answer_key json =
+  Json.to_string
+    (Json.Obj [ ("answers", member "answers" json); ("null", member "null_prob" json) ])
+
+let () =
+  let server =
+    Server.start
+      { Server.default_config with port = 0; workers = 4; queue_depth = 64 }
+  in
+  let port = Server.port server in
+  let session = ("session", Json.Str "smoke") in
+  let open_params =
+    [
+      session;
+      ("target", Json.Str "Excel");
+      ("seed", Json.Num 7.);
+      ("scale", Json.Num 0.01);
+      ("h", Json.Num 8.);
+    ]
+  in
+
+  (* One client opens the session; the others race the same open and must
+     converge on the identical fingerprint. *)
+  let c0 = Client.connect ~port () in
+  let opened = get_exn "open-session" (Client.call c0 ~op:"open-session" open_params) in
+  check "session created" (member "created" opened = Json.Bool true);
+  let fingerprint = member "fingerprint" opened in
+  check "fingerprint present" (match fingerprint with Json.Str _ -> true | _ -> false);
+
+  (* Four concurrent clients over the one session: each runs the scripted
+     batch and returns the per-query answer keys it observed. *)
+  let script = [ ("Q1", "o-sharing"); ("Q2", "basic"); ("Q1", "e-basic") ] in
+  let run_client i =
+    let c = Client.connect ~port () in
+    let reopened =
+      get_exn "concurrent open" (Client.call c ~op:"open-session" open_params)
+    in
+    check
+      (Printf.sprintf "client %d sees the same session" i)
+      (Json.to_string (member "fingerprint" reopened) = Json.to_string fingerprint);
+    let keys =
+      List.map
+        (fun (q, alg) ->
+          let r =
+            get_exn
+              (Printf.sprintf "client %d %s/%s" i q alg)
+              (Client.call c ~op:"query"
+                 [ session; ("query", Json.Str q); ("algorithm", Json.Str alg) ])
+          in
+          answer_key r)
+        script
+    in
+    Client.close c;
+    keys
+  in
+  let results = Array.make 4 [] in
+  let threads =
+    List.init 4 (fun i -> Thread.create (fun () -> results.(i) <- run_client i) ())
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i keys ->
+      check
+        (Printf.sprintf "client %d answers match client 0" i)
+        (List.equal String.equal keys results.(0)))
+    results;
+
+  (* The exact algorithms must agree across the wire too: Q1 via o-sharing
+     and Q1 via e-basic produced the same answer key. *)
+  (match results.(0) with
+  | [ k1_osh; _; k1_ebasic ] ->
+    check "o-sharing ≡ e-basic over the wire" (String.equal k1_osh k1_ebasic)
+  | _ -> check "script shape" false);
+
+  (* Cache: a repeat of a scripted query must hit and must be identical. *)
+  let cold =
+    get_exn "cold query"
+      (Client.call c0 ~op:"query" [ session; ("query", Json.Str "Q1") ])
+  in
+  let warm =
+    get_exn "warm query"
+      (Client.call c0 ~op:"query" [ session; ("query", Json.Str "Q1") ])
+  in
+  check "warm run is served from cache" (member "cached" warm = Json.Bool true);
+  check "cached answers identical" (String.equal (answer_key cold) (answer_key warm));
+
+  (* Top-k and threshold over the same session. *)
+  let topk =
+    get_exn "topk"
+      (Client.call c0 ~op:"topk" [ session; ("query", Json.Str "Q2"); ("k", Json.Num 3.) ])
+  in
+  check "topk answers bounded" (match member "answers" topk with
+    | Json.Arr l -> List.length l <= 3
+    | _ -> false);
+  let thr =
+    get_exn "threshold"
+      (Client.call c0 ~op:"threshold"
+         [ session; ("query", Json.Str "Q2"); ("tau", Json.Num 0.3) ])
+  in
+  check "threshold replies" (match member "answers" thr with
+    | Json.Arr _ -> true
+    | _ -> false);
+
+  (* Error replies: unknown session, malformed line, unknown op. *)
+  (match Client.call c0 ~op:"query" [ ("session", Json.Str "nope") ] with
+  | Error ("not_found", _) -> ()
+  | _ -> check "unknown session is not_found" false);
+  (match Client.roundtrip c0 "{not json" with
+  | Ok reply ->
+    check "malformed line is bad_request"
+      (match Urm_service.Protocol.parse_reply reply with
+      | Ok (Urm_service.Protocol.Err (_, "bad_request", _)) -> true
+      | _ -> false)
+  | Error _ -> check "malformed line got a reply" false);
+  (match Client.call c0 ~op:"frobnicate" [] with
+  | Error ("bad_request", _) -> ()
+  | _ -> check "unknown op is bad_request" false);
+
+  (* Metrics: requests counted, cache hits observed, latency quantiles. *)
+  let m = get_exn "metrics" (Client.call c0 ~op:"metrics" []) in
+  let requests = num "requests" m in
+  let cache_hit = num "hit" (member "cache" m) in
+  let p50 = num "p50" (member "latency" m) in
+  let p95 = num "p95" (member "latency" m) in
+  check "requests counted" (requests >= 19.);
+  check "cache hits observed" (cache_hit >= 1.);
+  check "p50 sane" (p50 >= 0. && Float.is_finite p50);
+  check "p95 ≥ p50" (p95 >= p50);
+
+  (* Graceful drain. *)
+  let bye = get_exn "shutdown" (Client.call c0 ~op:"shutdown" []) in
+  check "drain acknowledged" (member "draining" bye = Json.Bool true);
+  Client.close c0;
+  Server.wait server;
+
+  if !failures = 0 then print_endline "smoke: service OK"
+  else begin
+    Printf.eprintf "smoke: %d failure(s)\n%!" !failures;
+    exit 1
+  end

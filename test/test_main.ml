@@ -15,4 +15,5 @@ let () =
       ("misc", Test_misc.suite);
       ("xmlconv", Test_xmlconv.suite);
       ("workload", Test_workload.suite);
+      ("service", Test_service.suite);
     ]

@@ -1,0 +1,277 @@
+(* The query-service layer: LRU, wire protocol, canonical query keys,
+   mapping-set wire validation, and domain-safety of the metrics registry.
+   The live server is exercised end to end by test/smoke (dune @smoke,
+   part of @runtest). *)
+
+module Json = Urm_util.Json
+module Lru = Urm_service.Lru
+module Protocol = Urm_service.Protocol
+
+(* ------------------------------------------------------------------ *)
+(* Fnv *)
+
+let test_fnv_stable () =
+  Alcotest.(check string)
+    "deterministic"
+    (Urm_util.Fnv.to_hex (Urm_util.Fnv.string "abc"))
+    (Urm_util.Fnv.to_hex (Urm_util.Fnv.string "abc"));
+  Alcotest.(check bool)
+    "different inputs differ" false
+    (String.equal
+       (Urm_util.Fnv.to_hex (Urm_util.Fnv.string "abc"))
+       (Urm_util.Fnv.to_hex (Urm_util.Fnv.string "abd")));
+  Alcotest.(check int) "16 hex digits" 16
+    (String.length (Urm_util.Fnv.to_hex (Urm_util.Fnv.string "abc")))
+
+let test_fnv_boundaries () =
+  (* The separator byte keeps ["ab";"c"] and ["abc"] apart. *)
+  let open Urm_util.Fnv in
+  let split = add_string (add_string seed "ab") "c" in
+  let whole = add_string seed "abc" in
+  Alcotest.(check bool) "field boundaries matter" false (Int64.equal split whole)
+
+(* ------------------------------------------------------------------ *)
+(* Lru *)
+
+let test_lru_eviction () =
+  let l = Lru.create ~capacity:2 in
+  Alcotest.(check (list string)) "no eviction" [] (Lru.add l "a" 1);
+  Alcotest.(check (list string)) "no eviction" [] (Lru.add l "b" 2);
+  (* Touch "a" so "b" is now least recently used. *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find l "a");
+  Alcotest.(check (list string)) "evicts lru" [ "b" ] (Lru.add l "c" 3);
+  Alcotest.(check (option int)) "b gone" None (Lru.find l "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find l "a");
+  Alcotest.(check int) "length" 2 (Lru.length l)
+
+let test_lru_replace_and_clear () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.add l "a" 1);
+  ignore (Lru.add l "a" 9);
+  Alcotest.(check (option int)) "replaced" (Some 9) (Lru.find l "a");
+  Alcotest.(check int) "no duplicate entry" 1 (Lru.length l);
+  Lru.clear l;
+  Alcotest.(check int) "cleared" 0 (Lru.length l);
+  Alcotest.(check bool) "capacity must be positive" true
+    (match Lru.create ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_protocol_request_roundtrip () =
+  let line =
+    Json.to_string
+      (Protocol.request ~id:(Json.Num 7.) ~op:"query"
+         [ ("session", Json.Str "s"); ("k", Json.Num 3.) ])
+  in
+  match Protocol.parse_request line with
+  | Error msg -> Alcotest.fail msg
+  | Ok req ->
+    Alcotest.(check string) "op" "query" req.Protocol.op;
+    Alcotest.(check (option string)) "param" (Some "s")
+      (Protocol.str_param req "session");
+    Alcotest.(check (option int)) "int param" (Some 3) (Protocol.int_param req "k");
+    Alcotest.(check (option int)) "absent param" None
+      (Protocol.int_param req "missing")
+
+let test_protocol_rejects () =
+  List.iter
+    (fun line ->
+      match Protocol.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" line)
+    [ "nonsense"; "[1,2]"; "{}"; {|{"op": 3}|}; {|{"op": ""}|} ]
+
+let test_protocol_reply_roundtrip () =
+  (match Protocol.parse_reply (Protocol.ok ~id:(Json.Num 1.) (Json.Bool true)) with
+  | Ok (Protocol.Ok (Json.Num 1., Json.Bool true)) -> ()
+  | _ -> Alcotest.fail "ok reply did not round-trip");
+  match Protocol.parse_reply (Protocol.error ~id:Json.Null ~code:"busy" "full") with
+  | Ok (Protocol.Err (Json.Null, "busy", "full")) -> ()
+  | _ -> Alcotest.fail "error reply did not round-trip"
+
+let test_protocol_values () =
+  let values =
+    Urm_relalg.Value.[ Null; Int 42; Float 1.5; Str "x"; Int (-3) ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "value round-trip" true
+        (Urm_relalg.Value.equal v
+           (Protocol.value_of_json (Protocol.value_to_json v))))
+    values
+
+(* ------------------------------------------------------------------ *)
+(* Query canonicalisation *)
+
+let test_canonical_ignores_spelling () =
+  let target = Urm_workload.Targets.excel in
+  let at = Urm.Query.at in
+  let q name sels =
+    Urm.Query.make ~name ~target ~aliases:[ ("PO", "PO") ] ~selections:sels ()
+  in
+  let a =
+    q "A"
+      [
+        (at "PO" "priority", Urm_relalg.Value.Int 2);
+        (at "PO" "invoiceTo", Urm_relalg.Value.Str "Mary");
+      ]
+  in
+  let b =
+    q "B"
+      [
+        (at "PO" "invoiceTo", Urm_relalg.Value.Str "Mary");
+        (at "PO" "priority", Urm_relalg.Value.Int 2);
+      ]
+  in
+  Alcotest.(check string) "order and name independent" (Urm.Query.canonical a)
+    (Urm.Query.canonical b);
+  Alcotest.(check string) "fingerprints agree" (Urm.Query.fingerprint a)
+    (Urm.Query.fingerprint b)
+
+let test_canonical_sql_agrees () =
+  let target, q4 = Urm_workload.Queries.by_name "Q4" in
+  let sql = Urm.Sql.to_sql q4 in
+  let reparsed = Urm.Sql.parse_exn ~name:"reparsed" ~target sql in
+  Alcotest.(check string) "named query ≡ its SQL rendering"
+    (Urm.Query.canonical q4) (Urm.Query.canonical reparsed)
+
+let test_canonical_distinguishes () =
+  let _, q1 = Urm_workload.Queries.by_name "Q1" in
+  let _, q5 = Urm_workload.Queries.by_name "Q5" in
+  (* Q5 is Q1 plus selections and a COUNT — must not collide. *)
+  Alcotest.(check bool) "distinct queries differ" false
+    (String.equal (Urm.Query.canonical q1) (Urm.Query.canonical q5))
+
+(* ------------------------------------------------------------------ *)
+(* Mapping_io wire validation *)
+
+let mapping_set probs =
+  List.mapi
+    (fun i p ->
+      Urm.Mapping.make ~id:i ~prob:p ~score:p
+        [ ("Person.pname", "Customer.c" ^ string_of_int i) ])
+    probs
+
+let test_mapping_io_rejects_bad_probabilities () =
+  let reject label text =
+    match Urm.Mapping_io.of_json text with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  reject "sum 0.5"
+    {|[{"id":0,"prob":0.5,"score":1,"pairs":[["Person.pname","Customer.cname"]]}]|};
+  reject "prob 1.5"
+    {|[{"id":0,"prob":1.5,"score":1,"pairs":[["Person.pname","Customer.cname"]]}]|};
+  reject "negative prob"
+    {|[{"id":0,"prob":-0.2,"score":1,"pairs":[["Person.pname","Customer.cname"]]},
+       {"id":1,"prob":1.2,"score":1,"pairs":[["Person.pname","Customer.cname"]]}]|};
+  reject "empty set" "[]";
+  reject "pair arity"
+    {|[{"id":0,"prob":1,"score":1,"pairs":[["Person.pname"]]}]|};
+  reject "ill-typed prob"
+    {|[{"id":0,"prob":"x","score":1,"pairs":[["Person.pname","Customer.cname"]]}]|}
+
+let test_mapping_io_one_to_one_is_failure () =
+  (* The mli contract says Failure, even though Mapping.make itself raises
+     Invalid_argument: wire input must never surface as a programming
+     error. *)
+  let text =
+    {|[{"id":0,"prob":1,"score":1,
+       "pairs":[["Person.pname","Customer.a"],["Person.pname","Customer.b"]]}]|}
+  in
+  match Urm.Mapping_io.of_json text with
+  | exception Failure _ -> ()
+  | exception Invalid_argument _ ->
+    Alcotest.fail "Invalid_argument leaked through of_json"
+  | _ -> Alcotest.fail "duplicate target accepted"
+
+let qcheck_mapping_io_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* weights = list_size (return n) (float_range 0.05 1.0) in
+      let total = List.fold_left ( +. ) 0. weights in
+      return (List.map (fun w -> w /. total) weights))
+  in
+  QCheck.Test.make ~name:"mapping sets survive the wire" ~count:100
+    (QCheck.make gen) (fun probs ->
+      let ms = Urm.Mapping.normalize (mapping_set probs) in
+      let back = Urm.Mapping_io.of_json (Urm.Mapping_io.to_json ms) in
+      List.length back = List.length ms
+      && List.for_all2
+           (fun a b ->
+             Urm.Mapping.same_correspondences a b
+             && Float.abs (a.Urm.Mapping.prob -. b.Urm.Mapping.prob) < 1e-9
+             && a.Urm.Mapping.id = b.Urm.Mapping.id)
+           ms back)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics under concurrent domains *)
+
+let test_metrics_concurrent_domains () =
+  let m = Urm_obs.Metrics.create () in
+  let c = Urm_obs.Metrics.counter m "shared" in
+  let tm = Urm_obs.Metrics.timer m "lat" in
+  let per_domain = 25_000 in
+  let body () =
+    for _ = 1 to per_domain do
+      Urm_obs.Metrics.incr c;
+      Urm_obs.Metrics.record tm 0.001
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn body) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" (4 * per_domain)
+    (Urm_obs.Metrics.value c);
+  Alcotest.(check int) "no lost recordings" (4 * per_domain)
+    (Urm_obs.Metrics.calls tm);
+  Alcotest.(check (float 1e-6)) "no torn accumulation"
+    (0.001 *. float_of_int (4 * per_domain))
+    (Urm_obs.Metrics.elapsed tm)
+
+let test_metrics_json_sorted () =
+  let m = Urm_obs.Metrics.create () in
+  (* Insert in reverse order; the snapshot must come out sorted. *)
+  List.iter
+    (fun n -> Urm_obs.Metrics.incr (Urm_obs.Metrics.counter m n))
+    [ "z"; "m"; "a" ];
+  Urm_obs.Metrics.record (Urm_obs.Metrics.timer m "t2") 1.;
+  Urm_obs.Metrics.record (Urm_obs.Metrics.timer m "t1") 2.;
+  Alcotest.(check string) "byte-deterministic rendering"
+    {|{"counters":{"a":1,"m":1,"z":1},"timers":{"t1":{"seconds":2,"count":1},"t2":{"seconds":1,"count":1}}}|}
+    (Json.to_string (Urm_obs.Metrics.to_json m))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "fnv is stable" `Quick test_fnv_stable;
+    Alcotest.test_case "fnv separates field boundaries" `Quick test_fnv_boundaries;
+    Alcotest.test_case "lru evicts least recently used" `Quick test_lru_eviction;
+    Alcotest.test_case "lru replaces and clears" `Quick test_lru_replace_and_clear;
+    Alcotest.test_case "protocol request round-trip" `Quick
+      test_protocol_request_roundtrip;
+    Alcotest.test_case "protocol rejects malformed requests" `Quick
+      test_protocol_rejects;
+    Alcotest.test_case "protocol reply round-trip" `Quick
+      test_protocol_reply_roundtrip;
+    Alcotest.test_case "protocol value mapping" `Quick test_protocol_values;
+    Alcotest.test_case "canonical ignores name and order" `Quick
+      test_canonical_ignores_spelling;
+    Alcotest.test_case "canonical agrees with SQL round-trip" `Quick
+      test_canonical_sql_agrees;
+    Alcotest.test_case "canonical distinguishes queries" `Quick
+      test_canonical_distinguishes;
+    Alcotest.test_case "mapping_io rejects bad probabilities" `Quick
+      test_mapping_io_rejects_bad_probabilities;
+    Alcotest.test_case "mapping_io one-to-one violations are Failure" `Quick
+      test_mapping_io_one_to_one_is_failure;
+    QCheck_alcotest.to_alcotest qcheck_mapping_io_roundtrip;
+    Alcotest.test_case "metrics survive concurrent domains" `Quick
+      test_metrics_concurrent_domains;
+    Alcotest.test_case "metrics json has sorted keys" `Quick
+      test_metrics_json_sorted;
+  ]
