@@ -428,6 +428,10 @@ let request_cmd =
       match op with
       | "ping" | "metrics" | "sessions" | "shutdown" -> Ok []
       | "open-session" ->
+        (* The positional argument is the target schema here (it would be
+           silently dead otherwise); [--target] remains for symmetry with
+           the other subcommands. *)
+        let target = Option.value ~default:target arg in
         Ok
           (List.filter_map Fun.id
              [
@@ -511,7 +515,10 @@ let request_cmd =
     Arg.(
       value
       & pos 1 (some string) None
-      & info [] ~docv:"ARG" ~doc:"Query name (query/topk/threshold) or raw JSON.")
+      & info [] ~docv:"ARG"
+          ~doc:
+            "Query name (query/topk/threshold), target schema (open-session), \
+             or raw JSON.")
   in
   let session_t =
     Arg.(

@@ -15,9 +15,12 @@ let create ?(metrics = Metrics.scope Metrics.global "service") ~capacity () =
     evict = Metrics.counter metrics "cache.evict";
   }
 
+(* The full canonical text, not its 64-bit digest: a hash collision within
+   a session would silently serve the wrong cached answer.  NUL separators
+   cannot occur in any component. *)
 let key ~session ~query ~algorithm ~variant =
-  String.concat "|"
-    [ session.Session.fingerprint; Urm.Query.fingerprint query; algorithm; variant ]
+  String.concat "\x00"
+    [ session.Session.fingerprint; Urm.Query.canonical query; algorithm; variant ]
 
 let find t k =
   match Lru.find t.lru k with

@@ -7,6 +7,7 @@ type config = {
   workers : int;
   queue_depth : int;
   cache_capacity : int;
+  send_timeout : float;
 }
 
 let default_config =
@@ -16,6 +17,7 @@ let default_config =
     workers = max 1 (min 4 (Domain.recommended_domain_count () - 1));
     queue_depth = 64;
     cache_capacity = 256;
+    send_timeout = 10.;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -437,7 +439,16 @@ let reader t conn =
     | exception (End_of_file | Sys_error _) -> ()
   in
   loop ();
-  teardown conn
+  teardown conn;
+  (* Drop this connection's record and our own thread handle so a
+     long-lived server accepting many short connections doesn't
+     accumulate dead entries.  Queued jobs may still reference [conn];
+     [send] checks [alive] before writing. *)
+  let self = Thread.id (Thread.self ()) in
+  Mutex.lock t.conns_lock;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  t.readers <- List.filter (fun th -> Thread.id th <> self) t.readers;
+  Mutex.unlock t.conns_lock
 
 let acceptor_loop t () =
   let stopping () =
@@ -456,6 +467,13 @@ let acceptor_loop t () =
       | _ :: _, _, _ -> (
         match Unix.accept t.sock with
         | fd, _ ->
+          (* Bound blocking reply writes: a stalled client whose socket
+             buffer fills must not wedge a worker domain forever — the
+             timed-out write surfaces as Sys_error in [send], which marks
+             the connection dead. *)
+          (if t.cfg.send_timeout > 0. then
+             try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.send_timeout
+             with Unix.Unix_error _ | Invalid_argument _ -> ());
           let conn =
             {
               fd;
@@ -482,6 +500,9 @@ let acceptor_loop t () =
 let start ?(metrics = Metrics.scope Metrics.global "service") (cfg : config) =
   if cfg.workers <= 0 then invalid_arg "Server.start: workers must be positive";
   if cfg.queue_depth <= 0 then invalid_arg "Server.start: queue_depth must be positive";
+  (* A write to a disconnected client must surface as EPIPE/Sys_error in
+     [send] — the default SIGPIPE action would terminate the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));

@@ -25,6 +25,10 @@ type config = {
   workers : int;  (** executor domains *)
   queue_depth : int;  (** admission-queue bound; beyond it requests get [busy] *)
   cache_capacity : int;  (** answer-cache entries *)
+  send_timeout : float;
+      (** SO_SNDTIMEO on accepted sockets, seconds; a reply write stalled
+          this long marks the connection dead instead of wedging a worker.
+          [0.] disables the bound. *)
 }
 
 val default_config : config
@@ -33,8 +37,9 @@ type t
 
 (** [start ?metrics config] binds, listens and returns immediately with
     the pool running.  [metrics] defaults to the ["service"] scope of
-    {!Urm_obs.Metrics.global}.  Raises [Unix.Unix_error] when the port is
-    taken. *)
+    {!Urm_obs.Metrics.global}.  Ignores SIGPIPE process-wide so writes to
+    disconnected clients surface as I/O errors rather than killing the
+    server.  Raises [Unix.Unix_error] when the port is taken. *)
 val start : ?metrics:Urm_obs.Metrics.t -> config -> t
 
 (** The actually-bound port (differs from [config.port] when that was 0). *)

@@ -60,6 +60,13 @@ let build ~name ~target_name ~target ~seed ~scale ~h =
     rows = Urm_workload.Pipeline.instance_rows pipeline;
   }
 
+let conflict s =
+  Error
+    (Printf.sprintf
+       "session %S already open with different parameters (target %s, \
+        seed %d, scale %g, h %d)"
+       s.name s.target_name s.seed s.scale s.h)
+
 let open_session c ?name ?(seed = 42) ?(scale = Urm_tpch.Gen.default_scale)
     ?(h = 100) ~target () =
   match Urm_workload.Targets.by_name target with
@@ -67,25 +74,28 @@ let open_session c ?name ?(seed = 42) ?(scale = Urm_tpch.Gen.default_scale)
     Error (Printf.sprintf "unknown target schema %S (Excel|Noris|Paragon)" target)
   | target_schema ->
     let target_name = target in
-    locked c (fun () ->
-        let existing = Option.bind name (Hashtbl.find_opt c.sessions) in
-        match existing with
-        | Some s when same_params s ~target_name ~seed ~scale ~h -> Ok (s, false)
-        | Some s ->
-          Error
-            (Printf.sprintf
-               "session %S already open with different parameters (target %s, \
-                seed %d, scale %g, h %d)"
-               s.name s.target_name s.seed s.scale s.h)
-        | None ->
-          let s = build ~name ~target_name ~target:target_schema ~seed ~scale ~h in
-          (match Hashtbl.find_opt c.sessions s.name with
-          | Some clash when not (same_params clash ~target_name ~seed ~scale ~h) ->
-            (* Only reachable for a derived (fingerprint) name, which cannot
-               clash with different parameters; named clashes were caught
-               above. *)
-            Error (Printf.sprintf "session name %S collision" s.name)
-          | Some clash -> Ok (clash, false)
+    (* The build — workload generation plus eager index construction — can
+       take seconds, so it must not run under the catalog lock: [find] is
+       on the path of every query.  Take the lock only to check, then to
+       re-check-and-insert; a concurrent opener of the same name may build
+       redundantly, but the first insert wins and the loser adopts it. *)
+    let existing =
+      locked c (fun () ->
+          match Option.bind name (Hashtbl.find_opt c.sessions) with
+          | Some s when same_params s ~target_name ~seed ~scale ~h ->
+            Some (Ok (s, false))
+          | Some s -> Some (conflict s)
+          | None -> None)
+    in
+    (match existing with
+    | Some result -> result
+    | None ->
+      let s = build ~name ~target_name ~target:target_schema ~seed ~scale ~h in
+      locked c (fun () ->
+          match Hashtbl.find_opt c.sessions s.name with
+          | Some clash when same_params clash ~target_name ~seed ~scale ~h ->
+            Ok (clash, false)
+          | Some clash -> conflict clash
           | None ->
             Hashtbl.replace c.sessions s.name s;
             Ok (s, true)))

@@ -3,8 +3,9 @@
     A session is the expensive per-instance state the paper's sharing
     techniques amortise {e within} one query — generated source instance,
     matcher + Murty mapping set, hash indexes — built once at open time and
-    then shared read-only across the whole query stream.  Opening is the
-    only mutating operation and is serialised by the catalog lock; after
+    then shared read-only across the whole query stream.  Catalog mutation
+    is serialised by the catalog lock, but the build itself runs outside
+    it so concurrent lookups never stall behind an open; after
     {!open_session} returns, every field of {!t} is immutable, so executor
     domains evaluate over it concurrently without further locking.
 
@@ -37,8 +38,9 @@ val create_catalog : unit -> catalog
     fingerprint.  Returns [(session, created)] where [created] is [false]
     when an identical session (same name, same parameters) already
     existed.  [Error]s: unknown target schema, or an existing session of
-    the same name with different parameters.  Building is serialised:
-    concurrent opens of the same name block and then observe the winner. *)
+    the same name with different parameters.  The build runs outside the
+    catalog lock; concurrent opens of the same name may each build, but
+    only the first insert wins and the others observe it. *)
 val open_session :
   catalog ->
   ?name:string ->

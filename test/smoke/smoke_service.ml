@@ -47,6 +47,15 @@ let () =
       { Server.default_config with port = 0; workers = 4; queue_depth = 64 }
   in
   let port = Server.port server in
+  (* [start] must leave SIGPIPE ignored: a worker flushing a reply to a
+     client that disconnected mid-write would otherwise kill the process
+     before [send]'s EPIPE handler runs.  (Read-modify-restore — [Sys]
+     has no pure getter.) *)
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | Sys.Signal_ignore -> ()
+  | prev ->
+    Sys.set_signal Sys.sigpipe prev;
+    check "SIGPIPE ignored after start" false);
   let session = ("session", Json.Str "smoke") in
   let open_params =
     [
@@ -110,6 +119,33 @@ let () =
   | [ k1_osh; _; k1_ebasic ] ->
     check "o-sharing ≡ e-basic over the wire" (String.equal k1_osh k1_ebasic)
   | _ -> check "script shape" false);
+
+  (* A client that disconnects with a batch of requests still queued:
+     the reader must tear the connection down on EOF, pending workers
+     must drop their replies via the [alive] check (or absorb the
+     EPIPE/RST if they were already writing), and the catalog/cache must
+     stay consistent.  Distinct [answers] limits defeat the cache so the
+     jobs are real work; every request c0 makes below doubles as the
+     server-survived check. *)
+  let abrupt = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect abrupt (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let batch =
+    String.concat ""
+      (List.init 5 (fun i ->
+           Json.to_string
+             (Urm_service.Protocol.request
+                ~id:(Json.Num (float_of_int (900 + i)))
+                ~op:"query"
+                [
+                  session;
+                  ("query", Json.Str "Q2");
+                  ("algorithm", Json.Str "basic");
+                  ("answers", Json.Num (float_of_int (30 + i)));
+                ])
+           ^ "\n"))
+  in
+  ignore (Unix.write_substring abrupt batch 0 (String.length batch));
+  Unix.close abrupt;
 
   (* Cache: a repeat of a scripted query must hit and must be identical. *)
   let cold =
