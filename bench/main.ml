@@ -82,6 +82,94 @@ let run_tables only quick =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 1b: the parallel-evaluation sweep (id "par").
+
+   fig10c/fig11c-style h-sweeps for one simple (basic) and one sharing
+   (o-sharing/SEF) solution at jobs ∈ {1, 2, 4, 8}, written to
+   BENCH_parallel.json.  Every parallel point also checks its answer is
+   bit-identical to the jobs = 1 answer of the same point (the lib/par
+   determinism contract), recorded as "identical_to_jobs1". *)
+
+let parallel_file = "BENCH_parallel.json"
+
+let run_par quick =
+  let module E = Urm_workload.Experiments in
+  let cfg = if quick then E.quick else E.default in
+  let jobs_sweep = [ 1; 2; 4; 8 ] in
+  let sweeps =
+    [
+      ("fig10c-par", Urm.Algorithms.Basic);
+      ("fig11c-par", Urm.Algorithms.Osharing Urm.Eunit.Sef);
+    ]
+  in
+  let target, q = Urm_workload.Queries.default in
+  let p = Urm_workload.Pipeline.create ~seed:cfg.E.seed ~scale:cfg.E.scale () in
+  let ctx = Urm_workload.Pipeline.ctx p target in
+  Format.printf "=== parallel evaluation sweep (Q4, jobs ∈ {%s}) ===@.@."
+    (String.concat ", " (List.map string_of_int jobs_sweep));
+  let rows =
+    List.concat_map
+      (fun (id, alg) ->
+        List.concat_map
+          (fun h ->
+            let ms = Urm_workload.Pipeline.mappings p target ~h in
+            let baseline = ref None in
+            List.map
+              (fun jobs ->
+                let report = ref None in
+                let secs =
+                  Urm_util.Timer.repeat ~warmup:0 ~runs:cfg.E.runs (fun () ->
+                      report :=
+                        Some (E.run_alg { cfg with E.jobs } alg ctx q ms))
+                in
+                let answer = (Option.get !report).Urm.Report.answer in
+                let identical =
+                  match !baseline with
+                  | None ->
+                    baseline := Some answer;
+                    true
+                  | Some b -> Urm.Answer.equal ~eps:0. b answer
+                in
+                Format.printf "  %-12s h=%-4d jobs=%d  %8.3fs%s@." id h jobs
+                  secs
+                  (if identical then "" else "  ANSWER MISMATCH");
+                Urm_util.Json.Obj
+                  [
+                    ("id", Urm_util.Json.Str id);
+                    ("algorithm", Urm_util.Json.Str (Urm.Algorithms.name alg));
+                    ("query", Urm_util.Json.Str "Q4");
+                    ("h", Urm_util.Json.Num (float_of_int h));
+                    ("jobs", Urm_util.Json.Num (float_of_int jobs));
+                    ("seconds", Urm_util.Json.Num secs);
+                    ("identical_to_jobs1", Urm_util.Json.Bool identical);
+                  ])
+              jobs_sweep)
+          cfg.E.h_sweep)
+      sweeps
+  in
+  let json =
+    Urm_util.Json.Obj
+      [
+        ( "config",
+          Urm_util.Json.Obj
+            [
+              ("seed", Urm_util.Json.Num (float_of_int cfg.E.seed));
+              ("scale", Urm_util.Json.Num cfg.E.scale);
+              ("runs", Urm_util.Json.Num (float_of_int cfg.E.runs));
+              ( "recommended_domains",
+                Urm_util.Json.Num
+                  (float_of_int (Domain.recommended_domain_count ())) );
+            ] );
+        ("rows", Urm_util.Json.Arr rows);
+      ]
+  in
+  let oc = open_out parallel_file in
+  output_string oc (Urm_util.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote parallel sweep to %s@.@." parallel_file
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one per table/figure. *)
 
 let micro_tests () =
@@ -180,4 +268,5 @@ let run_bechamel only =
 let () =
   let only, quick, skip_bechamel, skip_tables = parse_args () in
   if not skip_tables then run_tables only quick;
+  if not skip_tables && wanted only "par" then run_par quick;
   if not skip_bechamel then run_bechamel only

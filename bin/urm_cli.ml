@@ -122,6 +122,25 @@ let query_name_t =
   let doc = "Query name (Q1..Q10)." in
   Arg.(value & pos 0 string "Q1" & info [] ~docv:"QUERY" ~doc)
 
+let jobs_t =
+  let doc =
+    "Evaluation domains (1 = sequential).  Parallel runs fan the per-mapping \
+     / per-e-unit evaluations over a domain pool and merge deterministically: \
+     answers are bit-identical to --jobs 1."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc)
+
+(* Evaluate [alg] under a throwaway [jobs]-domain pool (sequentially when
+   [jobs <= 1]; the pool dispatcher routes jobs = 1 back to the untouched
+   sequential paths). *)
+let run_with_jobs ~jobs alg ctx q ms =
+  if jobs <= 1 then Urm.Algorithms.run alg ctx q ms
+  else
+    let pool = Urm_par.Pool.create ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Urm_par.Pool.shutdown pool)
+      (fun () -> Urm_par.Drivers.run ~pool alg ctx q ms)
+
 let answers_t =
   Arg.(value & opt int 10 & info [ "answers" ] ~doc:"Answer tuples to print.")
 
@@ -140,7 +159,7 @@ let explain_t =
         ~doc:"Print the u-trace (operator choices, partitions, leaves) while evaluating.")
 
 let query_cmd =
-  let run qname alg_name scale seed h answers sql explain metrics =
+  let run qname alg_name scale seed h answers sql explain jobs metrics =
     match parse_algorithm alg_name with
     | Error (`Msg m) ->
       prerr_endline m;
@@ -176,7 +195,7 @@ let query_cmd =
           | true, _ ->
             Format.eprintf "--explain requires an o-sharing algorithm@.";
             exit 1
-          | false, _ -> Urm.Algorithms.run alg ctx q ms
+          | false, _ -> run_with_jobs ~jobs alg ctx q ms
         in
         Format.printf "%s: %a@." (Urm.Algorithms.name alg) Urm.Report.pp report;
         Format.printf "answers (top %d of %d):@." answers
@@ -198,7 +217,7 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ query_name_t $ algorithm_t $ scale_t $ seed_t $ h_t $ answers_t
-      $ sql_t $ explain_t $ metrics_t)
+      $ sql_t $ explain_t $ jobs_t $ metrics_t)
 
 let topk_cmd =
   let run qname k scale seed h metrics =
@@ -309,11 +328,12 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ query_name_t $ scale_t $ seed_t $ h_t)
 
 let experiment_cmd =
-  let run id quick =
+  let run id quick jobs =
     let cfg =
       if quick then Urm_workload.Experiments.quick
       else Urm_workload.Experiments.default
     in
+    let cfg = { cfg with Urm_workload.Experiments.jobs } in
     let ids =
       if String.equal id "all" then List.map fst Urm_workload.Experiments.all
       else [ id ]
@@ -335,7 +355,7 @@ let experiment_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc:"Use the miniature configuration.")
   in
   let doc = "Re-run the paper's experiments (see DESIGN.md for the index)." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id_t $ quick_t)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id_t $ quick_t $ jobs_t)
 
 (* ------------------------------------------------------------------ *)
 (* Query service *)
@@ -345,13 +365,15 @@ let port_t =
   Arg.(value & opt int 7411 & info [ "port"; "p" ] ~doc)
 
 let serve_cmd =
-  let run port workers queue_depth cache_size preload seed scale h metrics =
+  let run port workers queue_depth cache_size preload seed scale h eval_jobs
+      metrics =
     let cfg =
       {
         Urm_service.Server.default_config with
         port;
         queue_depth;
         cache_capacity = cache_size;
+        eval_jobs;
         workers =
           (match workers with
           | Some w -> w
@@ -414,11 +436,19 @@ let serve_cmd =
             "Open a session for this target schema at boot (repeatable); named \
              after the lowercased target.")
   in
+  let eval_jobs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "eval-jobs" ]
+          ~doc:
+            "Evaluation domains per query request (one pool shared across \
+             workers); 1 = sequential evaluation.")
+  in
   let doc = "Run the query service: sessions, answer cache, executor pool." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ port_t $ workers_t $ queue_t $ cache_t $ preload_t $ seed_t
-      $ scale_t $ h_t $ metrics_t)
+      $ scale_t $ h_t $ eval_jobs_t $ metrics_t)
 
 let request_cmd =
   let run port op arg session target seed scale h alg answers k tau sql =

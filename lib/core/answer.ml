@@ -20,6 +20,17 @@ let add t tuple p =
 let add_null t p = t.null_mass <- t.null_mass +. p
 let null_prob t = t.null_mass
 
+(* Merging sums the source's per-tuple masses into the target.  When
+   partial answers are built over disjoint contiguous mapping ranges and
+   merged in ascending range order, every tuple's probability is summed in
+   ascending mapping order — exactly the accumulation order of the
+   sequential loop — so the merged answer is bit-identical to a sequential
+   run, for any number of ranges. *)
+let merge_into t other =
+  if t.output <> other.output then invalid_arg "Answer.merge_into: header mismatch";
+  Hashtbl.iter (fun tuple p -> add t tuple p) other.rows;
+  t.null_mass <- t.null_mass +. other.null_mass
+
 let compare_tuples a b =
   let rec go i =
     if i >= Array.length a then 0
@@ -74,6 +85,34 @@ let equal ?(eps = Prob.eps) a b =
          | Some q -> abs_float (q -. p) <= eps
          | None -> false)
        a.rows true
+
+(* Serialisation follows [to_list]'s deterministic ranking, so two answers
+   with bit-identical probabilities render to byte-identical JSON — the
+   property the jobs=1 vs jobs=N determinism regression checks. *)
+let to_json t =
+  let rows = to_list t in
+  let open Urm_util.Json in
+  let value = function
+    | Value.Null -> Null
+    | Value.Int i -> Num (float_of_int i)
+    | Value.Float f -> Num f
+    | Value.Str s -> Str s
+  in
+  Obj
+    [
+      ("output", Arr (List.map (fun c -> Str c) t.output));
+      ( "answers",
+        Arr
+          (List.map
+             (fun (tuple, p) ->
+               Obj
+                 [
+                   ("tuple", Arr (Array.to_list (Array.map value tuple)));
+                   ("prob", Num p);
+                 ])
+             rows) );
+      ("null_prob", Num t.null_mass);
+    ]
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>answer over (%s):" (String.concat ", " t.output);

@@ -21,6 +21,14 @@ val add : t -> Urm_relalg.Value.t array -> float -> unit
 (** [add_null t p] accumulates probability onto θ. *)
 val add_null : t -> float -> unit
 
+(** [merge_into t other] sums [other]'s tuple probabilities and θ mass into
+    [t].  Merging partial answers built over disjoint contiguous mapping
+    ranges in ascending range order reproduces the sequential accumulation
+    order exactly, so parallel evaluation is bit-identical to sequential
+    (see DESIGN.md "Parallel evaluation").  Raises [Invalid_argument] when
+    the outputs differ. *)
+val merge_into : t -> t -> unit
+
 val null_prob : t -> float
 
 (** Distinct tuples with their probabilities, sorted by probability
@@ -43,5 +51,10 @@ val prob_of : t -> Urm_relalg.Value.t array -> float
 (** [equal ?eps a b] same outputs, same θ mass and same tuple
     probabilities within [eps] (default {!Prob.eps}). *)
 val equal : ?eps:float -> t -> t -> bool
+
+(** [{"output": […], "answers": [{"tuple": […], "prob": p}, …],
+    "null_prob": θ}] in {!to_list} order — deterministic, so equal answers
+    render to byte-identical text. *)
+val to_json : t -> Urm_util.Json.t
 
 val pp : Format.formatter -> t -> unit

@@ -4,6 +4,36 @@ open Urm_relalg
    mappings — with large h the h materialised answers would not fit in
    memory) but attributed to the paper's three phases with stopwatches:
    rewrite, evaluate, aggregate (Fig. 10(a)). *)
+
+let timed sw f =
+  match sw with
+  | None -> f ()
+  | Some sw ->
+    Urm_util.Timer.Stopwatch.start sw;
+    Fun.protect ~finally:(fun () -> Urm_util.Timer.Stopwatch.stop sw) f
+
+(* One mapping's rewrite→evaluate→aggregate step, shared by the sequential
+   loop (which attributes the phases to stopwatches) and the parallel
+   driver (which times whole chunks instead and passes no stopwatches). *)
+let eval_mapping ?rewrite_sw ?evaluate_sw ?aggregate_sw ~ctrs (ctx : Ctx.t) q acc
+    m =
+  let sq = timed rewrite_sw (fun () -> Reformulate.source_query ctx.target q m) in
+  let p = m.Mapping.prob in
+  let rel =
+    timed evaluate_sw (fun () ->
+        match sq.Reformulate.body with
+        | Reformulate.Expr e -> Some (Eval.eval ~ctrs ctx.catalog e)
+        | Reformulate.Unsatisfiable | Reformulate.Trivial -> None)
+  in
+  timed aggregate_sw (fun () ->
+      let factor = Reformulate.factor ctx.catalog sq in
+      match rel with
+      | Some r -> Reformulate.answers_into acc sq ~factor r p
+      | None -> Reformulate.null_answer_into acc sq ~factor p)
+
+let accumulate ~ctrs ctx q acc ms =
+  List.iter (eval_mapping ~ctrs ctx q acc) ms
+
 let run_scoped ~metrics (ctx : Ctx.t) q ms =
   let ctrs = Eval.fresh_counters ~metrics () in
   let sw_rewrite = Urm_util.Timer.Stopwatch.create () in
@@ -11,24 +41,8 @@ let run_scoped ~metrics (ctx : Ctx.t) q ms =
   let sw_aggregate = Urm_util.Timer.Stopwatch.create () in
   let acc = Answer.create (Reformulate.output_header q) in
   List.iter
-    (fun m ->
-      Urm_util.Timer.Stopwatch.start sw_rewrite;
-      let sq = Reformulate.source_query ctx.target q m in
-      Urm_util.Timer.Stopwatch.stop sw_rewrite;
-      let p = m.Mapping.prob in
-      Urm_util.Timer.Stopwatch.start sw_evaluate;
-      let rel =
-        match sq.Reformulate.body with
-        | Reformulate.Expr e -> Some (Eval.eval ~ctrs ctx.catalog e)
-        | Reformulate.Unsatisfiable | Reformulate.Trivial -> None
-      in
-      Urm_util.Timer.Stopwatch.stop sw_evaluate;
-      Urm_util.Timer.Stopwatch.start sw_aggregate;
-      let factor = Reformulate.factor ctx.catalog sq in
-      (match rel with
-      | Some r -> Reformulate.answers_into acc sq ~factor r p
-      | None -> Reformulate.null_answer_into acc sq ~factor p);
-      Urm_util.Timer.Stopwatch.stop sw_aggregate)
+    (eval_mapping ~rewrite_sw:sw_rewrite ~evaluate_sw:sw_evaluate
+       ~aggregate_sw:sw_aggregate ~ctrs ctx q acc)
     ms;
   {
     Report.answer = acc;

@@ -13,3 +13,16 @@ val run :
     adjust the report before recording it. *)
 val run_scoped :
   metrics:Urm_obs.Metrics.t -> Ctx.t -> Query.t -> Mapping.t list -> Report.t
+
+(** [accumulate ~ctrs ctx q acc ms] the raw evaluation loop: reformulate,
+    evaluate and aggregate each mapping of [ms] (in order) into [acc],
+    without timers or reporting.  The domain-parallel driver runs this over
+    contiguous mapping chunks and merges the chunk answers in ascending
+    chunk order (see {!Answer.merge_into}). *)
+val accumulate :
+  ctrs:Urm_relalg.Eval.counters ->
+  Ctx.t ->
+  Query.t ->
+  Answer.t ->
+  Mapping.t list ->
+  unit

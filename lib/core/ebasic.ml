@@ -15,6 +15,32 @@ let distinct_source_queries (ctx : Ctx.t) q ms =
     ms;
   List.rev_map (fun k -> !(Hashtbl.find groups k)) !order
 
+let timed sw f =
+  match sw with
+  | None -> f ()
+  | Some sw ->
+    Urm_util.Timer.Stopwatch.start sw;
+    Fun.protect ~finally:(fun () -> Urm_util.Timer.Stopwatch.stop sw) f
+
+(* One distinct source query's evaluate→aggregate step, shared by the
+   sequential loop below and the domain-parallel driver (which fans
+   contiguous chunks of the distinct list). *)
+let eval_unit ?evaluate_sw ?aggregate_sw ~ctrs (ctx : Ctx.t) acc (sq, p) =
+  let rel =
+    timed evaluate_sw (fun () ->
+        match sq.Reformulate.body with
+        | Reformulate.Expr e -> Some (Eval.eval ~ctrs ctx.catalog e)
+        | Reformulate.Unsatisfiable | Reformulate.Trivial -> None)
+  in
+  timed aggregate_sw (fun () ->
+      let factor = Reformulate.factor ctx.catalog sq in
+      match rel with
+      | Some r -> Reformulate.answers_into acc sq ~factor r p
+      | None -> Reformulate.null_answer_into acc sq ~factor p)
+
+let accumulate_units ~ctrs ctx acc units =
+  List.iter (eval_unit ~ctrs ctx acc) units
+
 let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
   let m = Urm_obs.Metrics.scope metrics "e-basic" in
   let ctrs = Eval.fresh_counters ~metrics:m () in
@@ -25,20 +51,7 @@ let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
   let sw_aggregate = Urm_util.Timer.Stopwatch.create () in
   let acc = Answer.create (Reformulate.output_header q) in
   List.iter
-    (fun (sq, p) ->
-      Urm_util.Timer.Stopwatch.start sw_evaluate;
-      let rel =
-        match sq.Reformulate.body with
-        | Reformulate.Expr e -> Some (Eval.eval ~ctrs ctx.catalog e)
-        | Reformulate.Unsatisfiable | Reformulate.Trivial -> None
-      in
-      Urm_util.Timer.Stopwatch.stop sw_evaluate;
-      Urm_util.Timer.Stopwatch.start sw_aggregate;
-      let factor = Reformulate.factor ctx.catalog sq in
-      (match rel with
-      | Some r -> Reformulate.answers_into acc sq ~factor r p
-      | None -> Reformulate.null_answer_into acc sq ~factor p);
-      Urm_util.Timer.Stopwatch.stop sw_aggregate)
+    (eval_unit ~evaluate_sw:sw_evaluate ~aggregate_sw:sw_aggregate ~ctrs ctx acc)
     distinct;
   let report =
     {

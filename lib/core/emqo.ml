@@ -1,34 +1,61 @@
 open Urm_relalg
 
+let body_expr (sq, _) =
+  match sq.Reformulate.body with Reformulate.Expr e -> Some e | _ -> None
+
+(* [eval_units ~ctrs ctx q units] plans the evaluable units of [units]
+   together (one shared MQO plan) and returns one partial answer per unit,
+   index-aligned with [units], plus the plan and execution times.
+
+   Contributions are kept per unit instead of being folded into one
+   accumulator in plan-execution order: callers merge the parts in
+   ascending unit order, so probabilities accumulate in a
+   schedule-independent order — the plan's internal evaluation order (and,
+   for the domain-parallel driver, the chunking) cannot perturb the final
+   float sums. *)
+let eval_units ~ctrs (ctx : Ctx.t) q units =
+  let units = Array.of_list units in
+  let header = Reformulate.output_header q in
+  let parts = Array.map (fun _ -> Answer.create header) units in
+  let evaluable_idx =
+    Array.to_list units
+    |> List.mapi (fun i u -> (i, u))
+    |> List.filter_map (fun (i, u) -> if body_expr u = None then None else Some i)
+    |> Array.of_list
+  in
+  let exprs =
+    Array.to_list evaluable_idx
+    |> List.map (fun i -> Option.get (body_expr units.(i)))
+  in
+  let plan, plan_time =
+    Urm_util.Timer.time (fun () -> Urm_mqo.Planner.plan ctx.catalog exprs)
+  in
+  let (), evaluate =
+    Urm_util.Timer.time (fun () ->
+        Urm_mqo.Planner.execute_iter ~ctrs ctx.catalog plan ~f:(fun i _ rel ->
+            let j = evaluable_idx.(i) in
+            let sq, p = units.(j) in
+            Reformulate.answers_into parts.(j) sq
+              ~factor:(Reformulate.factor ctx.catalog sq) rel p))
+  in
+  Array.iteri
+    (fun j ((sq, p) as u) ->
+      if body_expr u = None then
+        Reformulate.null_answer_into parts.(j) sq
+          ~factor:(Reformulate.factor ctx.catalog sq) p)
+    units;
+  (parts, plan_time, evaluate)
+
 let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
   let m = Urm_obs.Metrics.scope metrics "e-MQO" in
   let ctrs = Eval.fresh_counters ~metrics:m () in
   let distinct, rewrite =
     Urm_util.Timer.time (fun () -> Ebasic.distinct_source_queries ctx q ms)
   in
-  let body_expr (sq, _) =
-    match sq.Reformulate.body with Reformulate.Expr e -> Some e | _ -> None
-  in
-  let evaluable = List.filter (fun g -> body_expr g <> None) distinct in
-  let exprs = List.filter_map body_expr evaluable in
-  let plan, plan_time = Urm_util.Timer.time (fun () -> Urm_mqo.Planner.plan ctx.catalog exprs) in
+  let parts, plan_time, evaluate = eval_units ~ctrs ctx q distinct in
   let acc = Answer.create (Reformulate.output_header q) in
-  let evaluable_arr = Array.of_list evaluable in
-  let (), evaluate =
-    Urm_util.Timer.time (fun () ->
-        Urm_mqo.Planner.execute_iter ~ctrs ctx.catalog plan ~f:(fun i _ rel ->
-            let sq, p = evaluable_arr.(i) in
-            Reformulate.answers_into acc sq
-              ~factor:(Reformulate.factor ctx.catalog sq) rel p))
-  in
   let (), aggregate =
-    Urm_util.Timer.time (fun () ->
-        List.iter
-          (fun (sq, p) ->
-            if body_expr (sq, p) = None then
-              Reformulate.null_answer_into acc sq
-                ~factor:(Reformulate.factor ctx.catalog sq) p)
-          distinct)
+    Urm_util.Timer.time (fun () -> Array.iter (Answer.merge_into acc) parts)
   in
   let report =
     {
@@ -36,7 +63,7 @@ let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
       timings = { Report.rewrite; plan = plan_time; evaluate; aggregate };
       source_operators = ctrs.Eval.operators;
       rows_produced = ctrs.Eval.rows_produced;
-      groups = List.length distinct;
+      groups = Array.length parts;
     }
   in
   Report.record_metrics m report;

@@ -506,7 +506,11 @@ let exec_op env u op group =
 (* The u-trace traversal: paper Algorithm 2 (and the skeleton of
    Algorithm 4 when [emit] stops early). *)
 
-let rec run_qt env u ~emit =
+(* Operator selection plus partition ordering for one e-unit — the prefix
+   of [run_qt] before it recurses.  Exposed so the domain-parallel
+   o-sharing driver can fan the root's partitions across domains while
+   visiting (merging) them in exactly this order. *)
+let branches env u =
   Urm_obs.Metrics.incr env.c_eunits;
   let op, groups = select_next env u in
   trace env "e-unit #%d (%d mappings, mass %.3f): next %a across %d partition(s)"
@@ -518,6 +522,10 @@ let rec run_qt env u ~emit =
         Float.compare (Mapping.total_prob b) (Mapping.total_prob a))
       groups
   in
+  (op, groups)
+
+let rec run_qt env u ~emit =
+  let op, groups = branches env u in
   let rec visit = function
     | [] -> true
     | (label, group) :: rest -> begin

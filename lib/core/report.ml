@@ -27,6 +27,36 @@ let record_metrics m r =
   record (timer m "phase.evaluate") r.timings.evaluate;
   record (timer m "phase.aggregate") r.timings.aggregate
 
+(* [volatile:false] drops everything that may legitimately differ between
+   two runs computing the same answer — wall-clock timings and operator/row
+   work counters (memoisation and plan sharing change with chunking) — and
+   keeps only the answer and the group count.  The determinism regression
+   compares this stable rendering byte-for-byte across jobs values. *)
+let to_json ?(volatile = true) r =
+  let open Urm_util.Json in
+  let stable =
+    [
+      ("answer", Answer.to_json r.answer);
+      ("groups", Num (float_of_int r.groups));
+    ]
+  in
+  if not volatile then Obj stable
+  else
+    Obj
+      (stable
+      @ [
+          ( "timings",
+            Obj
+              [
+                ("rewrite", Num r.timings.rewrite);
+                ("plan", Num r.timings.plan);
+                ("evaluate", Num r.timings.evaluate);
+                ("aggregate", Num r.timings.aggregate);
+              ] );
+          ("source_operators", Num (float_of_int r.source_operators));
+          ("rows_produced", Num (float_of_int r.rows_produced));
+        ])
+
 let pp ppf r =
   Format.fprintf ppf
     "@[<v>%d tuples (θ=%.3f) | rewrite %.4fs plan %.4fs eval %.4fs agg %.4fs | %d ops, %d rows, %d groups@]"

@@ -28,4 +28,11 @@ type t = {
     observation per phase of [r.timings]. *)
 val record_metrics : Urm_obs.Metrics.t -> t -> unit
 
+(** [to_json ?volatile r] the report as JSON.  [volatile:false] (default
+    [true]) keeps only the schedule-independent fields — the answer and the
+    group count — dropping timings and operator/row counters, which differ
+    across equivalent runs (e.g. different [--jobs]); the determinism
+    regression test compares that rendering byte-for-byte. *)
+val to_json : ?volatile:bool -> t -> Urm_util.Json.t
+
 val pp : Format.formatter -> t -> unit

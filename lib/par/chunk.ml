@@ -1,0 +1,11 @@
+let ranges ~chunks n =
+  if chunks < 1 then invalid_arg "Chunk.ranges: chunks must be >= 1";
+  if n < 0 then invalid_arg "Chunk.ranges: n must be >= 0";
+  let k = min chunks n in
+  Array.init k (fun c -> (c * n / k, (c + 1) * n / k))
+
+let split ~chunks l =
+  let arr = Array.of_list l in
+  Array.map
+    (fun (lo, hi) -> Array.to_list (Array.sub arr lo (hi - lo)))
+    (ranges ~chunks (Array.length arr))

@@ -1,0 +1,11 @@
+(** Contiguous index chunking for the drivers that batch their items
+    (e-MQO plans one shared MQO plan per chunk). *)
+
+(** [ranges ~chunks n] at most [chunks] balanced, contiguous, half-open
+    [(lo, hi)] ranges covering [0..n-1] in order; fewer when [n < chunks],
+    none when [n = 0]. *)
+val ranges : chunks:int -> int -> (int * int) array
+
+(** [split ~chunks l] the elements of [l] grouped by {!ranges}, order
+    preserved: [Array.to_list (split ~chunks l) |> List.concat = l]. *)
+val split : chunks:int -> 'a list -> 'a list array

@@ -1,0 +1,202 @@
+open Urm
+
+(* Fan [n] items over the pool and return [(item answer, operators,
+   rows_produced)] parts in ascending item order. *)
+let fan pool ~n ~item =
+  List.rev
+    (Pool.map_reduce pool ~n ~map:item ~init:[]
+       ~reduce:(fun parts _ v -> v :: parts))
+
+(* Ascending merge of per-item parts: the determinism contract (see the
+   interface) lives in this fold staying in item order. *)
+let merge_parts header parts =
+  let acc = Answer.create header in
+  let ops = ref 0 and rows = ref 0 in
+  List.iter
+    (fun (a, o, r) ->
+      Answer.merge_into acc a;
+      ops := !ops + o;
+      rows := !rows + r)
+    parts;
+  (acc, !ops, !rows)
+
+let finish m ~answer ~rewrite ~plan ~evaluate ~aggregate ~ops ~rows ~groups =
+  let report =
+    {
+      Report.answer;
+      timings = { Report.rewrite; plan; evaluate; aggregate };
+      source_operators = ops;
+      rows_produced = rows;
+      groups;
+    }
+  in
+  Report.record_metrics m report;
+  report
+
+(* basic and q-sharing share the mapping-per-item fan (q-sharing is basic
+   over the partition representatives). *)
+let fan_mappings m ~pool ctx q ms =
+  let ms = Array.of_list ms in
+  let header = Reformulate.output_header q in
+  let parts, evaluate =
+    Urm_util.Timer.time (fun () ->
+        fan pool ~n:(Array.length ms) ~item:(fun i ->
+            let ctrs = Urm_relalg.Eval.fresh_counters ~metrics:m () in
+            let acc = Answer.create header in
+            Basic.accumulate ~ctrs ctx q acc [ ms.(i) ];
+            ( acc,
+              ctrs.Urm_relalg.Eval.operators,
+              ctrs.Urm_relalg.Eval.rows_produced )))
+  in
+  let (answer, ops, rows), aggregate =
+    Urm_util.Timer.time (fun () -> merge_parts header parts)
+  in
+  (answer, ops, rows, evaluate, aggregate, Array.length ms)
+
+let basic ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
+  let m = Urm_obs.Metrics.scope metrics "basic" in
+  let answer, ops, rows, evaluate, aggregate, groups =
+    fan_mappings m ~pool ctx q ms
+  in
+  finish m ~answer ~rewrite:0. ~plan:0. ~evaluate ~aggregate ~ops ~rows ~groups
+
+let qsharing ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
+  let m = Urm_obs.Metrics.scope metrics "q-sharing" in
+  let reps, rewrite =
+    Urm_util.Timer.time (fun () -> Qsharing.representatives ctx q ms)
+  in
+  let answer, ops, rows, evaluate, aggregate, groups =
+    fan_mappings m ~pool ctx q reps
+  in
+  finish m ~answer ~rewrite ~plan:0. ~evaluate ~aggregate ~ops ~rows ~groups
+
+let ebasic ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
+  let m = Urm_obs.Metrics.scope metrics "e-basic" in
+  let units, rewrite =
+    Urm_util.Timer.time (fun () -> Ebasic.distinct_source_queries ctx q ms)
+  in
+  let units = Array.of_list units in
+  let header = Reformulate.output_header q in
+  let parts, evaluate =
+    Urm_util.Timer.time (fun () ->
+        fan pool ~n:(Array.length units) ~item:(fun i ->
+            let ctrs = Urm_relalg.Eval.fresh_counters ~metrics:m () in
+            let acc = Answer.create header in
+            Ebasic.accumulate_units ~ctrs ctx acc [ units.(i) ];
+            ( acc,
+              ctrs.Urm_relalg.Eval.operators,
+              ctrs.Urm_relalg.Eval.rows_produced )))
+  in
+  let (answer, ops, rows), aggregate =
+    Urm_util.Timer.time (fun () -> merge_parts header parts)
+  in
+  finish m ~answer ~rewrite ~plan:0. ~evaluate ~aggregate ~ops ~rows
+    ~groups:(Array.length units)
+
+let emqo ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
+  let m = Urm_obs.Metrics.scope metrics "e-MQO" in
+  let units, rewrite =
+    Urm_util.Timer.time (fun () -> Ebasic.distinct_source_queries ctx q ms)
+  in
+  let chunks = Chunk.split ~chunks:(Pool.jobs pool) units in
+  let header = Reformulate.output_header q in
+  let parts, evaluate =
+    Urm_util.Timer.time (fun () ->
+        fan pool ~n:(Array.length chunks) ~item:(fun c ->
+            let ctrs = Urm_relalg.Eval.fresh_counters ~metrics:m () in
+            let unit_parts, plan_time, _ =
+              Emqo.eval_units ~ctrs ctx q chunks.(c)
+            in
+            ( unit_parts,
+              plan_time,
+              ctrs.Urm_relalg.Eval.operators,
+              ctrs.Urm_relalg.Eval.rows_produced )))
+  in
+  let answer = Answer.create header in
+  let plan = ref 0. and ops = ref 0 and rows = ref 0 in
+  let (), aggregate =
+    Urm_util.Timer.time (fun () ->
+        List.iter
+          (fun (unit_parts, plan_time, o, r) ->
+            Array.iter (Answer.merge_into answer) unit_parts;
+            plan := !plan +. plan_time;
+            ops := !ops + o;
+            rows := !rows + r)
+          parts)
+  in
+  finish m ~answer ~rewrite ~plan:!plan ~evaluate ~aggregate ~ops:!ops
+    ~rows:!rows ~groups:(List.length units)
+
+let osharing ?(strategy = Eunit.Sef) ?seed ?use_memo
+    ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
+  let m = Urm_obs.Metrics.scope metrics "o-sharing" in
+  let reps, rewrite =
+    Urm_util.Timer.time (fun () -> Qsharing.representatives ctx q ms)
+  in
+  Urm_obs.Metrics.incr ~by:(List.length reps)
+    (Urm_obs.Metrics.counter (Urm_obs.Metrics.scope m "eunit") "representatives");
+  let header = Reformulate.output_header q in
+  let answer = Answer.create header in
+  let root_env = Eunit.make_env ?seed ?use_memo ~metrics:m ~strategy ctx q in
+  let root = Eunit.init q reps in
+  let work, branch_time =
+    Urm_util.Timer.time (fun () ->
+        let op, groups = Eunit.branches root_env root in
+        Array.of_list (List.map (fun (_, group) -> (op, group)) groups))
+  in
+  (* Each root partition runs in its own environment (fresh memo and, for
+     [Random], a fresh generator) and reports its leaves in emission
+     order; the caller replays them partition by partition in the
+     sequential visit order. *)
+  let parts, par_time =
+    Urm_util.Timer.time (fun () ->
+        fan pool ~n:(Array.length work) ~item:(fun g ->
+            let env =
+              Eunit.make_env ?seed ?use_memo ~metrics:m ~strategy ctx q
+            in
+            let op, group = work.(g) in
+            let leaves = ref [] in
+            let emit l =
+              leaves := l :: !leaves;
+              true
+            in
+            (match Eunit.exec_op env root op group with
+            | Eunit.Leaf l -> ignore (emit l)
+            | Eunit.Child c -> ignore (Eunit.run_qt env c ~emit));
+            let ctrs = Eunit.counters env in
+            ( List.rev !leaves,
+              ctrs.Urm_relalg.Eval.operators,
+              ctrs.Urm_relalg.Eval.rows_produced )))
+  in
+  let ops = ref 0 and rows = ref 0 in
+  let (), aggregate =
+    Urm_util.Timer.time (fun () ->
+        List.iter
+          (fun (leaves, o, r) ->
+            List.iter
+              (function
+                | Eunit.Tuples (tuples, mass) ->
+                  List.iter (fun t -> Answer.add answer t mass) tuples
+                | Eunit.Null_answer mass -> Answer.add_null answer mass)
+              leaves;
+            ops := !ops + o;
+            rows := !rows + r)
+          parts)
+  in
+  let root_ctrs = Eunit.counters root_env in
+  finish m ~answer ~rewrite ~plan:0. ~evaluate:(branch_time +. par_time)
+    ~aggregate
+    ~ops:(!ops + root_ctrs.Urm_relalg.Eval.operators)
+    ~rows:(!rows + root_ctrs.Urm_relalg.Eval.rows_produced)
+    ~groups:(List.length reps)
+
+let run ?(metrics = Urm_obs.Metrics.global) ~pool alg ctx q ms =
+  if Pool.jobs pool = 1 then Algorithms.run ~metrics alg ctx q ms
+  else
+    match alg with
+    | Algorithms.Basic -> basic ~metrics ~pool ctx q ms
+    | Algorithms.Ebasic -> ebasic ~metrics ~pool ctx q ms
+    | Algorithms.Emqo -> emqo ~metrics ~pool ctx q ms
+    | Algorithms.Qsharing -> qsharing ~metrics ~pool ctx q ms
+    | Algorithms.Osharing s -> osharing ~strategy:s ~metrics ~pool ctx q ms
+    | Algorithms.Topk _ -> Algorithms.run ~metrics alg ctx q ms

@@ -1,0 +1,87 @@
+(** Domain-parallel drivers for the evaluation loops.
+
+    Each driver fans the algorithm's independent work items over a
+    {!Pool} and merges the per-item contributions {e in ascending item
+    order}.  Because one item adds every output tuple at most once (plain
+    source queries end in a Distinct over the mapped outputs; grouped
+    rows are distinct by their group keys), replaying item totals in
+    order reproduces the sequential per-tuple float-addition sequence
+    exactly — answers are bit-identical to the sequential algorithms for
+    any [jobs], not merely equal within [Prob.eps].  The items:
+
+    - basic: one item per mapping;
+    - e-basic: one item per distinct source query;
+    - e-MQO: one chunk of distinct source queries per domain (one shared
+      MQO plan per chunk), merged per {e unit} in ascending order, which
+      the restructured sequential {!Urm.Emqo.run} matches;
+    - q-sharing: one item per partition-tree representative;
+    - o-sharing: one item per root partition of the u-trace, in
+      {!Urm.Eunit.branches} visit order; every item replays its leaves in
+      emission order.  Each root partition evaluates in a fresh
+      environment, so the cross-branch memo does not span partitions
+      (operator/memo counters differ from the sequential run; answers do
+      not).  The [Random] strategy draws from per-partition generators
+      and is only guaranteed equal within [Prob.eps]; [Snf]/[Sef] are
+      bit-identical.
+
+    Timing attribution differs from the sequential reports: [rewrite] is
+    the serial pre-phase (clustering / partitioning), [evaluate] the
+    wall-clock of the parallel section, [aggregate] the ascending merge,
+    and [plan] (e-MQO) the summed per-chunk planning time.  Counters are
+    recorded under the same algorithm scopes as the sequential runs. *)
+
+val basic :
+  ?metrics:Urm_obs.Metrics.t ->
+  pool:Pool.t ->
+  Urm.Ctx.t ->
+  Urm.Query.t ->
+  Urm.Mapping.t list ->
+  Urm.Report.t
+
+val ebasic :
+  ?metrics:Urm_obs.Metrics.t ->
+  pool:Pool.t ->
+  Urm.Ctx.t ->
+  Urm.Query.t ->
+  Urm.Mapping.t list ->
+  Urm.Report.t
+
+val emqo :
+  ?metrics:Urm_obs.Metrics.t ->
+  pool:Pool.t ->
+  Urm.Ctx.t ->
+  Urm.Query.t ->
+  Urm.Mapping.t list ->
+  Urm.Report.t
+
+val qsharing :
+  ?metrics:Urm_obs.Metrics.t ->
+  pool:Pool.t ->
+  Urm.Ctx.t ->
+  Urm.Query.t ->
+  Urm.Mapping.t list ->
+  Urm.Report.t
+
+val osharing :
+  ?strategy:Urm.Eunit.strategy ->
+  ?seed:int ->
+  ?use_memo:bool ->
+  ?metrics:Urm_obs.Metrics.t ->
+  pool:Pool.t ->
+  Urm.Ctx.t ->
+  Urm.Query.t ->
+  Urm.Mapping.t list ->
+  Urm.Report.t
+
+(** [run ?metrics ~pool alg ctx q ms] dispatches [alg] to its parallel
+    driver.  With [Pool.jobs pool = 1] (and for [Topk], whose
+    early-stopping traversal is inherently sequential) it falls through
+    to {!Urm.Algorithms.run} — the untouched sequential paths. *)
+val run :
+  ?metrics:Urm_obs.Metrics.t ->
+  pool:Pool.t ->
+  Urm.Algorithms.t ->
+  Urm.Ctx.t ->
+  Urm.Query.t ->
+  Urm.Mapping.t list ->
+  Urm.Report.t

@@ -1,0 +1,141 @@
+(* One published batch of work.  [next] is the dispatch cursor (domains
+   race on it with fetch-and-add); [remaining] counts completions and is
+   guarded by the pool mutex so the caller can block on [done_cv]. *)
+type round = {
+  body : int -> unit;
+  n : int;
+  next : int Atomic.t;
+  mutable remaining : int;
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type t = {
+  jobs : int;
+  round_lock : Mutex.t;  (* serialises map_reduce rounds *)
+  m : Mutex.t;  (* guards current/gen/stopping/remaining *)
+  work_cv : Condition.t;  (* workers: a new round was published *)
+  done_cv : Condition.t;  (* caller: the round's last item completed *)
+  mutable current : round option;
+  mutable gen : int;  (* bumped per round so workers never re-enter one *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t array;
+  busy : Urm_obs.Metrics.counter array;
+  steals : Urm_obs.Metrics.counter array;
+  rounds : Urm_obs.Metrics.counter;
+}
+
+let jobs t = t.jobs
+
+(* Drain the round's cursor from domain [w] (0 = the caller).  An item
+   belongs to domain [i mod jobs]; executing someone else's item is a
+   steal — the dynamic cursor rebalancing a skewed static assignment. *)
+let drain t w r =
+  let rec go () =
+    let i = Atomic.fetch_and_add r.next 1 in
+    if i < r.n then begin
+      (try r.body i
+       with exn ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set r.failed None (Some (exn, bt))));
+      Urm_obs.Metrics.incr t.busy.(w);
+      if i mod t.jobs <> w then Urm_obs.Metrics.incr t.steals.(w);
+      Mutex.lock t.m;
+      r.remaining <- r.remaining - 1;
+      if r.remaining = 0 then Condition.broadcast t.done_cv;
+      Mutex.unlock t.m;
+      go ()
+    end
+  in
+  go ()
+
+let worker t w () =
+  let last = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    while
+      (not t.stopping) && (Option.is_none t.current || t.gen = !last)
+    do
+      Condition.wait t.work_cv t.m
+    done;
+    if t.stopping then Mutex.unlock t.m
+    else
+      match t.current with
+      | None -> assert false
+      | Some r ->
+        last := t.gen;
+        Mutex.unlock t.m;
+        drain t w r;
+        loop ()
+  in
+  loop ()
+
+let shutdown t =
+  Mutex.lock t.m;
+  let ds = t.domains in
+  t.domains <- [||];
+  t.stopping <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.m;
+  Array.iter Domain.join ds
+
+let create ?(metrics = Urm_obs.Metrics.global) ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let scope = Urm_obs.Metrics.scope metrics "par" in
+  let dom i = Urm_obs.Metrics.scope scope (Printf.sprintf "domain%d" i) in
+  let t =
+    {
+      jobs;
+      round_lock = Mutex.create ();
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      current = None;
+      gen = 0;
+      stopping = false;
+      domains = [||];
+      busy = Array.init jobs (fun i -> Urm_obs.Metrics.counter (dom i) "busy");
+      steals =
+        Array.init jobs (fun i -> Urm_obs.Metrics.counter (dom i) "steals");
+      rounds = Urm_obs.Metrics.counter scope "rounds";
+    }
+  in
+  t.domains <- Array.init (jobs - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  at_exit (fun () -> shutdown t);
+  t
+
+let run_round t body n =
+  Mutex.lock t.round_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.round_lock) @@ fun () ->
+  Urm_obs.Metrics.incr t.rounds;
+  let r =
+    { body; n; next = Atomic.make 0; remaining = n; failed = Atomic.make None }
+  in
+  if t.jobs = 1 || n <= 1 then drain t 0 r
+  else begin
+    Mutex.lock t.m;
+    t.current <- Some r;
+    t.gen <- t.gen + 1;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    drain t 0 r;
+    Mutex.lock t.m;
+    while r.remaining > 0 do
+      Condition.wait t.done_cv t.m
+    done;
+    t.current <- None;
+    Mutex.unlock t.m
+  end;
+  match Atomic.get r.failed with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let map_reduce t ~n ~map ~init ~reduce =
+  let results = Array.make n None in
+  run_round t (fun i -> results.(i) <- Some (map i)) n;
+  let acc = ref init in
+  Array.iteri
+    (fun i -> function
+      | Some v -> acc := reduce !acc i v
+      | None -> assert false (* run_round raised already *))
+    results;
+  !acc

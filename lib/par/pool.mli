@@ -1,0 +1,53 @@
+(** A fixed-size pool of worker domains for fanning out the evaluation
+    loops (ISSUE: domain-parallel mapping evaluation).
+
+    The pool is created once and reused across rounds: {!map_reduce}
+    publishes an indexed batch of items, the caller and the worker domains
+    drain it cooperatively through an atomic cursor (so a slow item does
+    not idle the other domains), and the per-item results are folded {e on
+    the calling domain, in ascending item order}.  That ascending reduce is
+    the determinism contract the parallel drivers build on: whatever the
+    scheduling, probabilities reach the accumulator in the same order.
+
+    A pool of [jobs = n] uses [n] domains in total: the caller counts as
+    domain 0 and [n - 1] domains are spawned, so [jobs = 1] spawns nothing
+    and degenerates to an inline loop.  Rounds are serialised by an
+    internal lock — concurrent {!map_reduce} calls (e.g. from the query
+    service's worker domains sharing one pool) queue up rather than
+    interleave.  [map_reduce] must not be called from inside an item of the
+    same pool (no reentrancy); doing so deadlocks the round lock.
+
+    Observability: the pool records under the ["par/"] scope of its
+    metrics registry — ["par/rounds"] (batches run),
+    ["par/domain<i>/busy"] (items executed by domain [i]) and
+    ["par/domain<i>/steals"] (items domain [i] executed that were not its
+    own by the static [i mod jobs] assignment — a measure of how much the
+    dynamic cursor rebalanced skewed item costs). *)
+
+type t
+
+(** [create ?metrics ~jobs ()] spawns [jobs - 1] worker domains.  Raises
+    [Invalid_argument] if [jobs < 1].  The pool registers an [at_exit]
+    shutdown so forgotten pools do not leave domains running. *)
+val create : ?metrics:Urm_obs.Metrics.t -> jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** [map_reduce t ~n ~map ~init ~reduce] evaluates [map i] for every
+    [i < n] across the pool's domains, then folds
+    [reduce acc i (map i)] on the calling domain in ascending [i].
+    If any [map i] raises, the first exception is re-raised on the caller
+    after the round drains (remaining items still run).  [map] must be
+    safe to call from any domain; the results are published to the caller
+    with a happens-before edge, so no extra synchronisation is needed. *)
+val map_reduce :
+  t ->
+  n:int ->
+  map:(int -> 'a) ->
+  init:'acc ->
+  reduce:('acc -> int -> 'a -> 'acc) ->
+  'acc
+
+(** Join the worker domains.  Idempotent; implied at process exit.  Must
+    not be called while a round is in flight. *)
+val shutdown : t -> unit

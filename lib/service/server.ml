@@ -8,6 +8,7 @@ type config = {
   queue_depth : int;
   cache_capacity : int;
   send_timeout : float;
+  eval_jobs : int;
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     queue_depth = 64;
     cache_capacity = 256;
     send_timeout = 10.;
+    eval_jobs = 1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -107,6 +109,9 @@ type t = {
   mutable readers : Thread.t list;
   conns_lock : Mutex.t;
   lat : ring;
+  pool : Urm_par.Pool.t option;
+      (* one evaluation pool shared by all worker domains; Pool serialises
+         rounds internally, so concurrent requests queue for it in turn *)
   mutable workers : unit Domain.t array;
   mutable acceptor : Thread.t option;
 }
@@ -216,8 +221,13 @@ let exec_query t req : (Json.t, failure) result =
         Ok
           (cached_eval t session q ~algorithm:alg_name ~variant (fun () ->
                let report =
-                 Urm.Algorithms.run alg session.Session.ctx q
-                   session.Session.mappings
+                 match t.pool with
+                 | Some pool ->
+                   Urm_par.Drivers.run ~pool alg session.Session.ctx q
+                     session.Session.mappings
+                 | None ->
+                   Urm.Algorithms.run alg session.Session.ctx q
+                     session.Session.mappings
                in
                let answer = report.Urm.Report.answer in
                Json.Obj
@@ -500,6 +510,7 @@ let acceptor_loop t () =
 let start ?(metrics = Metrics.scope Metrics.global "service") (cfg : config) =
   if cfg.workers <= 0 then invalid_arg "Server.start: workers must be positive";
   if cfg.queue_depth <= 0 then invalid_arg "Server.start: queue_depth must be positive";
+  if cfg.eval_jobs <= 0 then invalid_arg "Server.start: eval_jobs must be positive";
   (* A write to a disconnected client must surface as EPIPE/Sys_error in
      [send] — the default SIGPIPE action would terminate the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -531,6 +542,10 @@ let start ?(metrics = Metrics.scope Metrics.global "service") (cfg : config) =
       readers = [];
       conns_lock = Mutex.create ();
       lat = ring_create 4096;
+      pool =
+        (if cfg.eval_jobs > 1 then
+           Some (Urm_par.Pool.create ~metrics ~jobs:cfg.eval_jobs ())
+         else None);
       workers = [||];
       acceptor = None;
     }
@@ -542,6 +557,7 @@ let start ?(metrics = Metrics.scope Metrics.global "service") (cfg : config) =
 let wait t =
   (match t.acceptor with Some th -> Thread.join th | None -> ());
   Array.iter Domain.join t.workers;
+  Option.iter Urm_par.Pool.shutdown t.pool;
   Mutex.lock t.conns_lock;
   let conns = t.conns and readers = t.readers in
   t.conns <- [];

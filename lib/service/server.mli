@@ -29,6 +29,11 @@ type config = {
       (** SO_SNDTIMEO on accepted sockets, seconds; a reply write stalled
           this long marks the connection dead instead of wedging a worker.
           [0.] disables the bound. *)
+  eval_jobs : int;
+      (** evaluation domains per query: [> 1] shares one
+          {!Urm_par.Pool} across the worker domains and routes [query]
+          requests through the parallel drivers (answers are bit-identical
+          to sequential evaluation; see lib/par).  Default [1]. *)
 }
 
 val default_config : config

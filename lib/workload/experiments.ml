@@ -47,6 +47,7 @@ type config = {
   scale_sweep : float list;
   k_sweep : int list;
   runs : int;
+  jobs : int;
 }
 
 let default =
@@ -58,6 +59,7 @@ let default =
     scale_sweep = [ 0.2; 0.4; 0.6; 0.8; 1.0 ];
     k_sweep = [ 1; 5; 10; 15; 20 ];
     runs = 1;
+    jobs = 1;
   }
 
 let quick =
@@ -69,6 +71,7 @@ let quick =
     scale_sweep = [ 0.5; 1.0 ];
     k_sweep = [ 1; 3 ];
     runs = 1;
+    jobs = 1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -76,11 +79,27 @@ let quick =
 let s_float f = Printf.sprintf "%.4f" f
 let s_int = string_of_int
 
+(* Domain pools are memoised per jobs count so a sweep reuses one set of
+   worker domains across all its data points. *)
+let pool_cache : (int, Urm_par.Pool.t) Hashtbl.t = Hashtbl.create 4
+
+let pool jobs =
+  match Hashtbl.find_opt pool_cache jobs with
+  | Some p -> p
+  | None ->
+    let p = Urm_par.Pool.create ~jobs () in
+    Hashtbl.replace pool_cache jobs p;
+    p
+
+let run_alg cfg alg ctx q ms =
+  if cfg.jobs <= 1 then Algorithms.run alg ctx q ms
+  else Urm_par.Drivers.run ~pool:(pool cfg.jobs) alg ctx q ms
+
 let time_alg cfg alg ctx q ms =
   let report = ref None in
   let secs =
     Urm_util.Timer.repeat ~warmup:0 ~runs:cfg.runs (fun () ->
-        report := Some (Algorithms.run alg ctx q ms))
+        report := Some (run_alg cfg alg ctx q ms))
   in
   (secs, Option.get !report)
 

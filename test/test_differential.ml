@@ -1,0 +1,256 @@
+(* The cross-algorithm differential oracle suite.
+
+   qcheck generators produce random mapping distributions (random 1:1
+   correspondence subsets with random normalised probabilities, the shape
+   [Urm.Mapgen] emits) and random target queries (selections, joins,
+   aggregates) over the paper's running-example schemas and the workload
+   schemas.  The property: every exact algorithm — sequential and through
+   the domain-parallel drivers at jobs ∈ {2, 4} — returns the same
+   (tuple, probability) answer set within [Urm.Prob.eps], and top-k
+   answers are a prefix of the full ranking. *)
+
+let s v = Urm_relalg.Value.Str v
+
+(* Pools shared across all qcheck cases (creating domains per case would
+   dominate the suite's runtime). *)
+let pool2 = lazy (Urm_par.Pool.create ~jobs:2 ())
+let pool4 = lazy (Urm_par.Pool.create ~jobs:4 ())
+
+let exact_algorithms =
+  [
+    Urm.Algorithms.Basic;
+    Urm.Algorithms.Ebasic;
+    Urm.Algorithms.Emqo;
+    Urm.Algorithms.Qsharing;
+    Urm.Algorithms.Osharing Urm.Eunit.Sef;
+    Urm.Algorithms.Osharing Urm.Eunit.Snf;
+    Urm.Algorithms.Osharing Urm.Eunit.Random;
+  ]
+
+let modes =
+  [
+    ("seq", fun alg ctx q ms -> Urm.Algorithms.run alg ctx q ms);
+    ( "jobs=2",
+      fun alg ctx q ms ->
+        Urm_par.Drivers.run ~pool:(Lazy.force pool2) alg ctx q ms );
+    ( "jobs=4",
+      fun alg ctx q ms ->
+        Urm_par.Drivers.run ~pool:(Lazy.force pool4) alg ctx q ms );
+  ]
+
+(* All algorithms, all modes, against sequential basic.  Returns the first
+   disagreement as a counterexample description. *)
+let disagreement ctx q ms =
+  let baseline =
+    (Urm.Algorithms.run Urm.Algorithms.Basic ctx q ms).Urm.Report.answer
+  in
+  List.fold_left
+    (fun acc alg ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        List.fold_left
+          (fun acc (mode, run) ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              let answer = (run alg ctx q ms).Urm.Report.answer in
+              if Urm.Answer.equal ~eps:Urm.Prob.eps baseline answer then None
+              else
+                Some
+                  (Printf.sprintf "%s (%s) disagrees with sequential basic"
+                     (Urm.Algorithms.name alg) mode))
+          None modes)
+    None exact_algorithms
+
+let check_agreement ctx q ms =
+  match disagreement ctx q ms with
+  | None -> true
+  | Some msg -> QCheck.Test.fail_report msg
+
+(* ------------------------------------------------------------------ *)
+(* Random mapping distributions over the running-example schemas. *)
+
+(* Candidate correspondences, one bucket per target attribute (the
+   matcher's shape).  A generated mapping picks at most one source per
+   target and keeps the choice 1:1 on the source side too. *)
+let correspondence_pool =
+  [
+    ("Person.pname", [ "Customer.cname"; "Customer.mobile" ]);
+    ("Person.phone", [ "Customer.ophone"; "Customer.hphone"; "Customer.mobile" ]);
+    ("Person.addr", [ "Customer.oaddr"; "Customer.haddr" ]);
+    ("Person.nation", [ "Nation.name" ]);
+    ("Person.gender", [ "Customer.nid" ]);
+    ("Order.price", [ "C_Order.amount" ]);
+    ("Order.item", [ "Nation.name" ]);
+    ("Order.total", [ "C_Order.amount" ]);
+  ]
+
+let pairs_gen =
+  QCheck.Gen.(
+    let bucket (tgt, sources) =
+      let* keep = bool in
+      if keep then
+        let* src = oneofl sources in
+        return (Some (tgt, src))
+      else return None
+    in
+    let* chosen = flatten_l (List.map bucket correspondence_pool) in
+    let pairs = List.filter_map Fun.id chosen in
+    (* enforce 1:1 on the source side: first target wins *)
+    let _, pairs =
+      List.fold_left
+        (fun (seen, acc) (tgt, src) ->
+          if List.mem src seen then (seen, acc)
+          else (src :: seen, (tgt, src) :: acc))
+        ([], []) pairs
+    in
+    return (List.rev pairs))
+
+let mappings_gen =
+  QCheck.Gen.(
+    let* raw = list_size (1 -- 6) (pair pairs_gen (float_range 0.1 10.)) in
+    let raw = List.filter (fun (pairs, _) -> pairs <> []) raw in
+    if raw = [] then return []
+    else
+      let total = List.fold_left (fun t (_, w) -> t +. w) 0. raw in
+      return
+        (List.mapi
+           (fun id (pairs, w) ->
+             Urm.Mapping.make ~id ~prob:(w /. total) ~score:w pairs)
+           raw))
+
+(* ------------------------------------------------------------------ *)
+(* Random target queries over the running-example schemas. *)
+
+let selection_gen =
+  QCheck.Gen.oneofl
+    [
+      (Urm.Query.at "Person" "addr", s "aaa");
+      (Urm.Query.at "Person" "addr", s "hk");
+      (Urm.Query.at "Person" "phone", s "456");
+      (Urm.Query.at "Person" "pname", s "Alice");
+      (Urm.Query.at "Person" "nation", s "HK");
+    ]
+
+let query_gen =
+  QCheck.Gen.(
+    let person_sels = list_size (1 -- 3) selection_gen in
+    let plain =
+      let* sels = person_sels in
+      let* project = bool in
+      return
+        (Urm.Query.make ~name:"rand-plain" ~target:Test_core.target
+           ~aliases:[ ("Person", "Person") ]
+           ~selections:(List.sort_uniq compare sels)
+           ?projection:
+             (if project then
+                Some [ Urm.Query.at "Person" "phone"; Urm.Query.at "Person" "addr" ]
+              else None)
+           ())
+    in
+    let join =
+      let* sels = list_size (0 -- 2) selection_gen in
+      return
+        (Urm.Query.make ~name:"rand-join" ~target:Test_core.target
+           ~aliases:[ ("Person", "Person"); ("Order", "Order") ]
+           ~selections:(List.sort_uniq compare sels)
+           ~joins:[ (Urm.Query.at "Person" "pname", Urm.Query.at "Order" "sname") ]
+           ())
+    in
+    let count =
+      let* sels = person_sels in
+      let* grouped = bool in
+      return
+        (Urm.Query.make ~name:"rand-count" ~target:Test_core.target
+           ~aliases:[ ("Person", "Person") ]
+           ~selections:(List.sort_uniq compare sels)
+           ~aggregate:Urm.Query.Count
+           ?group_by:
+             (if grouped then Some [ Urm.Query.at "Person" "nation" ] else None)
+           ())
+    in
+    let sum =
+      let* item = oneofl [ "HK"; "CN" ] in
+      return
+        (Urm.Query.make ~name:"rand-sum" ~target:Test_core.target
+           ~aliases:[ ("Order", "Order") ]
+           ~selections:[ (Urm.Query.at "Order" "item", s item) ]
+           ~aggregate:(Urm.Query.Sum (Urm.Query.at "Order" "price"))
+           ())
+    in
+    oneof [ plain; join; count; sum ])
+
+let qcheck_running_example =
+  QCheck.Test.make
+    ~name:"random queries × random mapping sets agree across algorithms and jobs"
+    ~count:40
+    (QCheck.make QCheck.Gen.(pair query_gen mappings_gen))
+    (fun (q, ms) ->
+      QCheck.assume (ms <> []);
+      check_agreement (Test_core.ctx ()) q ms)
+
+(* ------------------------------------------------------------------ *)
+(* Random queries over the workload schemas (Excel), with matcher-derived
+   mapping distributions from the pipeline. *)
+
+let workload = lazy (Urm_workload.Pipeline.create ~seed:11 ~scale:0.005 ())
+
+let workload_case_gen =
+  QCheck.Gen.(
+    let* h = 4 -- 12 in
+    let* q =
+      oneof
+        [
+          (let* n = 1 -- 4 in
+           return (Urm_workload.Sweeps.selections n));
+          (let* n = 1 -- 2 in
+           return (Urm_workload.Sweeps.self_joins n));
+          (* Q1–Q5 are the Excel-targeted queries of Table III. *)
+          oneofl
+            Urm_workload.Queries.[ q1; q2; q3; q4; q5 ];
+        ]
+    in
+    return (q, h))
+
+let qcheck_workload =
+  QCheck.Test.make
+    ~name:"workload queries × pipeline mappings agree across algorithms and jobs"
+    ~count:10
+    (QCheck.make workload_case_gen)
+    (fun (q, h) ->
+      let p = Lazy.force workload in
+      let excel = Urm_workload.Targets.excel in
+      let ctx = Urm_workload.Pipeline.ctx p excel in
+      let ms = Urm_workload.Pipeline.mappings p excel ~h in
+      check_agreement ctx q ms)
+
+(* ------------------------------------------------------------------ *)
+(* Top-k answers are a prefix of the full ranking. *)
+
+let qcheck_topk_prefix =
+  QCheck.Test.make ~name:"top-k answers are a prefix of the full ranking"
+    ~count:30
+    (QCheck.make
+       QCheck.Gen.(triple query_gen mappings_gen (1 -- 5)))
+    (fun (q, ms, k) ->
+      QCheck.assume (ms <> []);
+      let ctx = Test_core.ctx () in
+      let full =
+        (Urm.Algorithms.run Urm.Algorithms.Basic ctx q ms).Urm.Report.answer
+      in
+      let r = Urm.Topk.run ~k ctx q ms in
+      let got = Urm.Answer.to_list r.Urm.Topk.report.Urm.Report.answer in
+      let truth = Urm.Answer.top_k full k in
+      let kth = match List.rev truth with [] -> 0. | (_, p) :: _ -> p in
+      List.length got = min k (Urm.Answer.size full)
+      && List.for_all
+           (fun (t, _) -> Urm.Answer.prob_of full t >= kth -. Urm.Prob.eps)
+           got)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_running_example;
+    QCheck_alcotest.to_alcotest qcheck_workload;
+    QCheck_alcotest.to_alcotest qcheck_topk_prefix;
+  ]

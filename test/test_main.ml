@@ -16,4 +16,6 @@ let () =
       ("xmlconv", Test_xmlconv.suite);
       ("workload", Test_workload.suite);
       ("service", Test_service.suite);
+      ("par", Test_par.suite);
+      ("differential", Test_differential.suite);
     ]

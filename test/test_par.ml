@@ -1,0 +1,201 @@
+(* lib/par unit tests: the domain pool, the chunker, and the determinism
+   regression — the same seed and query evaluated at jobs = 1 (sequential
+   paths) and jobs = 8 (pool) must serialise to byte-identical reports. *)
+
+let pool8 = lazy (Urm_par.Pool.create ~jobs:8 ())
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_inline () =
+  let p = Urm_par.Pool.create ~jobs:1 () in
+  Alcotest.(check int) "jobs" 1 (Urm_par.Pool.jobs p);
+  let sum =
+    Urm_par.Pool.map_reduce p ~n:100
+      ~map:(fun i -> i * i)
+      ~init:0
+      ~reduce:(fun acc _ v -> acc + v)
+  in
+  Alcotest.(check int) "sum of squares" 328350 sum;
+  Urm_par.Pool.shutdown p;
+  Urm_par.Pool.shutdown p (* idempotent *)
+
+let test_pool_invalid_jobs () =
+  Alcotest.check_raises "jobs = 0"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Urm_par.Pool.create ~jobs:0 ()))
+
+let test_pool_ascending_reduce () =
+  let p = Lazy.force pool8 in
+  (* The reduce must see items in ascending order whatever the domains
+     did; collect the indices as seen by the fold. *)
+  for _ = 1 to 5 do
+    let order =
+      Urm_par.Pool.map_reduce p ~n:64
+        ~map:(fun i ->
+          if i mod 7 = 0 then Domain.cpu_relax ();
+          i)
+        ~init:[]
+        ~reduce:(fun acc i v ->
+          Alcotest.(check int) "map result" i v;
+          i :: acc)
+    in
+    Alcotest.(check (list int)) "ascending order" (List.init 64 (fun i -> 63 - i)) order
+  done
+
+let test_pool_empty_and_singleton () =
+  let p = Lazy.force pool8 in
+  Alcotest.(check int) "n = 0" 42
+    (Urm_par.Pool.map_reduce p ~n:0 ~map:(fun _ -> assert false) ~init:42
+       ~reduce:(fun _ _ _ -> assert false));
+  Alcotest.(check int) "n = 1" 7
+    (Urm_par.Pool.map_reduce p ~n:1 ~map:(fun i -> i + 7) ~init:0
+       ~reduce:(fun acc _ v -> acc + v))
+
+let test_pool_exception () =
+  let p = Lazy.force pool8 in
+  Alcotest.check_raises "first failure re-raised" (Failure "item 13") (fun () ->
+      ignore
+        (Urm_par.Pool.map_reduce p ~n:32
+           ~map:(fun i -> if i = 13 then failwith "item 13" else i)
+           ~init:0
+           ~reduce:(fun acc _ v -> acc + v)));
+  (* the pool survives a failed round *)
+  Alcotest.(check int) "pool survives" 10
+    (Urm_par.Pool.map_reduce p ~n:5 ~map:(fun i -> i) ~init:0
+       ~reduce:(fun acc _ v -> acc + v))
+
+let test_pool_counters () =
+  let m = Urm_obs.Metrics.create () in
+  let p = Urm_par.Pool.create ~metrics:m ~jobs:3 () in
+  let total = 50 in
+  ignore
+    (Urm_par.Pool.map_reduce p ~n:total ~map:(fun i -> i) ~init:0
+       ~reduce:(fun acc _ v -> acc + v));
+  Urm_par.Pool.shutdown p;
+  let counter name =
+    match Urm_obs.Metrics.find_counter m name with
+    | Some c -> c
+    | None -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check int) "rounds" 1 (counter "par/rounds");
+  let busy =
+    counter "par/domain0/busy" + counter "par/domain1/busy"
+    + counter "par/domain2/busy"
+  in
+  Alcotest.(check int) "busy counters account for every item" total busy
+
+(* ------------------------------------------------------------------ *)
+(* Chunk *)
+
+let test_chunk_ranges () =
+  Alcotest.(check (list (pair int int)))
+    "10 into 4"
+    [ (0, 2); (2, 5); (5, 7); (7, 10) ]
+    (Array.to_list (Urm_par.Chunk.ranges ~chunks:4 10));
+  Alcotest.(check (list (pair int int))) "n < chunks" [ (0, 1); (1, 2) ]
+    (Array.to_list (Urm_par.Chunk.ranges ~chunks:5 2));
+  Alcotest.(check (list (pair int int))) "n = 0" []
+    (Array.to_list (Urm_par.Chunk.ranges ~chunks:4 0))
+
+let qcheck_chunk_split =
+  QCheck.Test.make ~name:"Chunk.split concat round-trips and balances" ~count:100
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (chunks, l) ->
+      let parts = Urm_par.Chunk.split ~chunks l in
+      let sizes = Array.to_list (Array.map List.length parts) in
+      List.concat (Array.to_list parts) = l
+      && List.for_all (fun s -> s > 0) sizes
+      && Array.length parts <= chunks
+      && (match (sizes, l) with
+         | [], [] -> true
+         | [], _ :: _ -> false
+         | _ :: _, _ ->
+           List.fold_left max 0 sizes - List.fold_left min max_int sizes <= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism regression: jobs = 1 vs jobs = 8, byte-identical reports.
+
+   [Report.to_json ~volatile:false] drops timings and operator/memo
+   counters (which legitimately vary with scheduling) and keeps the
+   answer, algorithm identity and work shape; the parallel drivers
+   promise those are bit-identical to sequential for any [jobs].  The
+   e-MQO case uses a COUNT query: per-chunk planning may legally reorder
+   float additions inside a SUM, but counts are exact. *)
+
+let stable_bytes report =
+  Urm_util.Json.to_string (Urm.Report.to_json ~volatile:false report)
+
+let determinism_cases () =
+  let ctx = Test_core.ctx () in
+  let ms = Test_core.fig3_mappings () in
+  let q = Test_core.q_paper () in
+  let count =
+    Urm.Query.make ~name:"count-by-nation" ~target:Test_core.target
+      ~aliases:[ ("Person", "Person") ]
+      ~selections:[ (Urm.Query.at "Person" "addr", Urm_relalg.Value.Str "aaa") ]
+      ~aggregate:Urm.Query.Count
+      ~group_by:[ Urm.Query.at "Person" "nation" ]
+      ()
+  in
+  List.concat_map
+    (fun (qname, q) ->
+      List.map
+        (fun alg -> (qname, alg, ctx, q, ms))
+        [
+          Urm.Algorithms.Basic;
+          Urm.Algorithms.Ebasic;
+          Urm.Algorithms.Emqo;
+          Urm.Algorithms.Qsharing;
+          Urm.Algorithms.Osharing Urm.Eunit.Sef;
+          Urm.Algorithms.Osharing Urm.Eunit.Snf;
+        ])
+    [ ("q_paper", q); ("count", count) ]
+
+let test_determinism_jobs8 () =
+  List.iter
+    (fun (qname, alg, ctx, q, ms) ->
+      let seq = Urm.Algorithms.run alg ctx q ms in
+      let par = Urm_par.Drivers.run ~pool:(Lazy.force pool8) alg ctx q ms in
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s: jobs=8 report bytes" qname (Urm.Algorithms.name alg))
+        (stable_bytes seq) (stable_bytes par))
+    (determinism_cases ())
+
+(* The workload pipeline exercise of the same contract: Q4 over
+   matcher-derived mappings, through the [Experiments.run_alg] entry the
+   CLI and bench use. *)
+let test_determinism_workload () =
+  let cfg = { Urm_workload.Experiments.quick with Urm_workload.Experiments.jobs = 1 } in
+  let p = Urm_workload.Pipeline.create ~seed:7 ~scale:0.005 () in
+  let target, q = Urm_workload.Queries.default in
+  let ctx = Urm_workload.Pipeline.ctx p target in
+  let ms = Urm_workload.Pipeline.mappings p target ~h:12 in
+  List.iter
+    (fun alg ->
+      let seq = Urm_workload.Experiments.run_alg cfg alg ctx q ms in
+      let par =
+        Urm_workload.Experiments.run_alg
+          { cfg with Urm_workload.Experiments.jobs = 8 }
+          alg ctx q ms
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "Q4/%s: jobs=8 report bytes" (Urm.Algorithms.name alg))
+        (stable_bytes seq) (stable_bytes par))
+    [ Urm.Algorithms.Basic; Urm.Algorithms.Osharing Urm.Eunit.Sef ]
+
+let suite =
+  [
+    Alcotest.test_case "pool: jobs=1 runs inline" `Quick test_pool_inline;
+    Alcotest.test_case "pool: jobs=0 rejected" `Quick test_pool_invalid_jobs;
+    Alcotest.test_case "pool: reduce is ascending" `Quick test_pool_ascending_reduce;
+    Alcotest.test_case "pool: n=0 and n=1 edges" `Quick test_pool_empty_and_singleton;
+    Alcotest.test_case "pool: exceptions propagate" `Quick test_pool_exception;
+    Alcotest.test_case "pool: busy counters" `Quick test_pool_counters;
+    Alcotest.test_case "chunk: ranges" `Quick test_chunk_ranges;
+    QCheck_alcotest.to_alcotest qcheck_chunk_split;
+    Alcotest.test_case "determinism: jobs=8 byte-identical reports" `Quick
+      test_determinism_jobs8;
+    Alcotest.test_case "determinism: workload Q4 via run_alg" `Quick
+      test_determinism_workload;
+  ]
