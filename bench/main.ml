@@ -170,6 +170,125 @@ let run_par quick =
   Format.printf "@.wrote parallel sweep to %s@.@." parallel_file
 
 (* ------------------------------------------------------------------ *)
+(* Part 1c: the compiled-vs-interpreted engine sweep (id "eval").
+
+   Per algorithm × workload × h, runs the same query under both engines
+   and records wall time, the compiled context's plan-cache counters and
+   answer identity, written to BENCH_eval.json.  Two workloads:
+
+   - "replicated": the top-1 mapping duplicated h times (uniform 1/h
+     probability).  Every mapping rewrites to the same query shape, so a
+     single compile serves the whole run — the pure cross-mapping
+     plan-cache case (hit ≥ h − 1).
+   - "pipeline": the real h-best Murty mappings, where distinct
+     correspondence sets yield several plan shapes. *)
+
+let eval_file = "BENCH_eval.json"
+
+let run_eval quick =
+  let module E = Urm_workload.Experiments in
+  let cfg = if quick then E.quick else E.default in
+  let h_sweep = if quick then [ 8; 32 ] else [ 32; 100; 300 ] in
+  let algorithms =
+    [ Urm.Algorithms.Basic; Urm.Algorithms.Ebasic; Urm.Algorithms.Emqo ]
+  in
+  let target, q = Urm_workload.Queries.default in
+  let p = Urm_workload.Pipeline.create ~seed:cfg.E.seed ~scale:cfg.E.scale () in
+  let replicated h =
+    match Urm_workload.Pipeline.mappings p target ~h:1 with
+    | [] -> []
+    | top :: _ ->
+      List.init h (fun id ->
+          Urm.Mapping.make ~id ~prob:(1. /. float_of_int h)
+            ~score:top.Urm.Mapping.score top.Urm.Mapping.pairs)
+  in
+  let workloads =
+    [
+      ("replicated", replicated);
+      ("pipeline", fun h -> Urm_workload.Pipeline.mappings p target ~h);
+    ]
+  in
+  Format.printf "=== engine sweep (Q4, compiled vs interpreted) ===@.@.";
+  let rows =
+    List.concat_map
+      (fun alg ->
+        List.concat_map
+          (fun (workload, make_ms) ->
+            List.concat_map
+              (fun h ->
+                let ms = make_ms h in
+                let baseline = ref None in
+                List.map
+                  (fun engine ->
+                    (* A fresh context per row isolates the plan-cache
+                       counters to this run. *)
+                    let ctx = Urm_workload.Pipeline.ctx ~engine p target in
+                    let report = ref None in
+                    let secs =
+                      Urm_util.Timer.repeat ~warmup:0 ~runs:cfg.E.runs
+                        (fun () -> report := Some (E.run_alg cfg alg ctx q ms))
+                    in
+                    let answer = (Option.get !report).Urm.Report.answer in
+                    let identical =
+                      match !baseline with
+                      | None ->
+                        baseline := Some answer;
+                        true
+                      | Some b -> Urm.Answer.equal ~eps:Urm.Prob.eps b answer
+                    in
+                    let hit, miss, evict = Urm.Ctx.plan_stats ctx in
+                    Format.printf
+                      "  %-10s %-10s h=%-4d %-11s  %8.3fs  cache %d/%d%s@."
+                      (Urm.Algorithms.name alg) workload h
+                      (Urm_relalg.Compile.engine_name engine)
+                      secs hit (hit + miss)
+                      (if identical then "" else "  ANSWER MISMATCH");
+                    Urm_util.Json.Obj
+                      [
+                        ("id", Urm_util.Json.Str "eval");
+                        ( "algorithm",
+                          Urm_util.Json.Str (Urm.Algorithms.name alg) );
+                        ("workload", Urm_util.Json.Str workload);
+                        ("query", Urm_util.Json.Str "Q4");
+                        ("h", Urm_util.Json.Num (float_of_int h));
+                        ( "engine",
+                          Urm_util.Json.Str
+                            (Urm_relalg.Compile.engine_name engine) );
+                        ("seconds", Urm_util.Json.Num secs);
+                        ( "plan_cache",
+                          Urm_util.Json.Obj
+                            [
+                              ("hit", Urm_util.Json.Num (float_of_int hit));
+                              ("miss", Urm_util.Json.Num (float_of_int miss));
+                              ("evict", Urm_util.Json.Num (float_of_int evict));
+                            ] );
+                        ("identical_to_interpreted", Urm_util.Json.Bool identical);
+                      ])
+                  [ Urm_relalg.Compile.Interpreted; Urm_relalg.Compile.Compiled ])
+              h_sweep)
+          workloads)
+      algorithms
+  in
+  let json =
+    Urm_util.Json.Obj
+      [
+        ( "config",
+          Urm_util.Json.Obj
+            [
+              ("seed", Urm_util.Json.Num (float_of_int cfg.E.seed));
+              ("scale", Urm_util.Json.Num cfg.E.scale);
+              ("runs", Urm_util.Json.Num (float_of_int cfg.E.runs));
+            ] );
+        ("rows", Urm_util.Json.Arr rows);
+      ]
+  in
+  let oc = open_out eval_file in
+  output_string oc (Urm_util.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote engine sweep to %s@.@." eval_file
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one per table/figure. *)
 
 let micro_tests () =
@@ -269,4 +388,5 @@ let () =
   let only, quick, skip_bechamel, skip_tables = parse_args () in
   if not skip_tables then run_tables only quick;
   if not skip_tables && wanted only "par" then run_par quick;
+  if not skip_tables && wanted only "eval" then run_eval quick;
   if not skip_bechamel then run_bechamel only

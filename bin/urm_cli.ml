@@ -130,6 +130,25 @@ let jobs_t =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc)
 
+let engine_conv =
+  Arg.conv
+    ( (fun s ->
+        match Urm_relalg.Compile.engine_of_string s with
+        | Ok e -> Ok e
+        | Error msg -> Error (`Msg msg)),
+      fun ppf e -> Format.pp_print_string ppf (Urm_relalg.Compile.engine_name e)
+    )
+
+let engine_t =
+  let doc =
+    "Query-execution engine: 'compiled' (cost-based physical plans, compiled \
+     once per query shape and cached across mappings; the default) or \
+     'interpreted' (the tree-walking evaluator).  Both return identical \
+     answers."
+  in
+  Arg.(
+    value & opt engine_conv Urm_relalg.Compile.Compiled & info [ "engine" ] ~doc)
+
 (* Evaluate [alg] under a throwaway [jobs]-domain pool (sequentially when
    [jobs <= 1]; the pool dispatcher routes jobs = 1 back to the untouched
    sequential paths). *)
@@ -159,7 +178,7 @@ let explain_t =
         ~doc:"Print the u-trace (operator choices, partitions, leaves) while evaluating.")
 
 let query_cmd =
-  let run qname alg_name scale seed h answers sql explain jobs metrics =
+  let run qname alg_name scale seed h answers sql explain jobs engine metrics =
     match parse_algorithm alg_name with
     | Error (`Msg m) ->
       prerr_endline m;
@@ -184,7 +203,7 @@ let query_cmd =
         exit 1
       | target, q ->
         let p = Urm_workload.Pipeline.create ~seed ~scale () in
-        let ctx = Urm_workload.Pipeline.ctx p target in
+        let ctx = Urm_workload.Pipeline.ctx ~engine p target in
         let ms = Urm_workload.Pipeline.mappings p target ~h in
         Format.printf "query: %a@." Urm.Query.pp q;
         let report =
@@ -217,7 +236,7 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ query_name_t $ algorithm_t $ scale_t $ seed_t $ h_t $ answers_t
-      $ sql_t $ explain_t $ jobs_t $ metrics_t)
+      $ sql_t $ explain_t $ jobs_t $ engine_t $ metrics_t)
 
 let topk_cmd =
   let run qname k scale seed h metrics =
@@ -328,12 +347,12 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ query_name_t $ scale_t $ seed_t $ h_t)
 
 let experiment_cmd =
-  let run id quick jobs =
+  let run id quick jobs engine =
     let cfg =
       if quick then Urm_workload.Experiments.quick
       else Urm_workload.Experiments.default
     in
-    let cfg = { cfg with Urm_workload.Experiments.jobs } in
+    let cfg = { cfg with Urm_workload.Experiments.jobs; engine } in
     let ids =
       if String.equal id "all" then List.map fst Urm_workload.Experiments.all
       else [ id ]
@@ -355,7 +374,8 @@ let experiment_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc:"Use the miniature configuration.")
   in
   let doc = "Re-run the paper's experiments (see DESIGN.md for the index)." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id_t $ quick_t $ jobs_t)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ id_t $ quick_t $ jobs_t $ engine_t)
 
 (* ------------------------------------------------------------------ *)
 (* Query service *)
@@ -366,7 +386,7 @@ let port_t =
 
 let serve_cmd =
   let run port workers queue_depth cache_size preload seed scale h eval_jobs
-      metrics =
+      engine metrics =
     let cfg =
       {
         Urm_service.Server.default_config with
@@ -374,6 +394,7 @@ let serve_cmd =
         queue_depth;
         cache_capacity = cache_size;
         eval_jobs;
+        engine;
         workers =
           (match workers with
           | Some w -> w
@@ -387,7 +408,7 @@ let serve_cmd =
           Urm_service.Session.open_session
             (Urm_service.Server.sessions server)
             ~name:(String.lowercase_ascii target)
-            ~seed ~scale ~h ~target ()
+            ~engine ~seed ~scale ~h ~target ()
         with
         | Ok (s, _) ->
           Format.printf "session %s ready: %s over %s (%d rows, %d mappings)@."
@@ -448,7 +469,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ port_t $ workers_t $ queue_t $ cache_t $ preload_t $ seed_t
-      $ scale_t $ h_t $ eval_jobs_t $ metrics_t)
+      $ scale_t $ h_t $ eval_jobs_t $ engine_t $ metrics_t)
 
 let request_cmd =
   let run port op arg session target seed scale h alg answers k tau sql =

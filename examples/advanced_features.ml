@@ -84,7 +84,7 @@ let () =
 
   (* 5. Reloaded artefacts answer queries identically. *)
   let ctx2 =
-    Urm.Ctx.make ~catalog:back ~source:Urm_tpch.Gen.schema ~target
+    Urm.Ctx.make ~catalog:back ~source:Urm_tpch.Gen.schema ~target ()
   in
   let a1 = (Urm.Algorithms.run (Urm.Algorithms.Osharing Urm.Eunit.Sef) ctx q_mary mappings).Urm.Report.answer in
   let a2 = (Urm.Algorithms.run (Urm.Algorithms.Osharing Urm.Eunit.Sef) ctx2 q_mary reloaded).Urm.Report.answer in

@@ -70,7 +70,7 @@ let mappings =
 let () =
   let catalog = Catalog.create () in
   Catalog.add catalog "Customer" customer;
-  let ctx = Urm.Ctx.make ~catalog ~source ~target in
+  let ctx = Urm.Ctx.make ~catalog ~source ~target () in
 
   (* π_phone σ_addr='aaa' Person *)
   let q =

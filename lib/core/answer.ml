@@ -3,7 +3,7 @@ open Urm_relalg
 type t = {
   output : string list;
   arity : int;
-  rows : (Value.t array, float) Hashtbl.t;
+  rows : (Value.t array, float ref) Hashtbl.t;
   mutable null_mass : float;
 }
 
@@ -14,8 +14,9 @@ let output t = t.output
 
 let add t tuple p =
   if Array.length tuple <> t.arity then invalid_arg "Answer.add: arity mismatch";
-  let prev = try Hashtbl.find t.rows tuple with Not_found -> 0. in
-  Hashtbl.replace t.rows tuple (prev +. p)
+  match Hashtbl.find_opt t.rows tuple with
+  | Some r -> r := !r +. p
+  | None -> Hashtbl.add t.rows tuple (ref p)
 
 let add_null t p = t.null_mass <- t.null_mass +. p
 let null_prob t = t.null_mass
@@ -28,7 +29,7 @@ let null_prob t = t.null_mass
    run, for any number of ranges. *)
 let merge_into t other =
   if t.output <> other.output then invalid_arg "Answer.merge_into: header mismatch";
-  Hashtbl.iter (fun tuple p -> add t tuple p) other.rows;
+  Hashtbl.iter (fun tuple r -> add t tuple !r) other.rows;
   t.null_mass <- t.null_mass +. other.null_mass
 
 let compare_tuples a b =
@@ -41,15 +42,15 @@ let compare_tuples a b =
   go 0
 
 let to_list t =
-  Hashtbl.fold (fun tuple p acc -> (tuple, p) :: acc) t.rows []
+  Hashtbl.fold (fun tuple r acc -> (tuple, !r) :: acc) t.rows []
   |> List.sort (fun (ta, pa) (tb, pb) ->
          let c = Float.compare pb pa in
          if c <> 0 then c else compare_tuples ta tb)
 
 let top_k t k = List.filteri (fun i _ -> i < k) (to_list t)
 let size t = Hashtbl.length t.rows
-let total_prob t = Hashtbl.fold (fun _ p acc -> acc +. p) t.rows t.null_mass
-let prob_of t tuple = try Hashtbl.find t.rows tuple with Not_found -> 0.
+let total_prob t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.rows t.null_mass
+let prob_of t tuple = match Hashtbl.find_opt t.rows tuple with Some r -> !r | None -> 0.
 
 let approx_tuple_equal ta tb =
   Array.length ta = Array.length tb
@@ -64,13 +65,13 @@ let approx_tuple_equal ta tb =
    keys. *)
 let prob_of_approx t tuple =
   match Hashtbl.find_opt t.rows tuple with
-  | Some p -> Some p
+  | Some r -> Some !r
   | None ->
     Hashtbl.fold
-      (fun other p acc ->
+      (fun other r acc ->
         match acc with
         | Some _ -> acc
-        | None -> if approx_tuple_equal tuple other then Some p else None)
+        | None -> if approx_tuple_equal tuple other then Some !r else None)
       t.rows None
 
 let equal ?(eps = Prob.eps) a b =
@@ -78,11 +79,11 @@ let equal ?(eps = Prob.eps) a b =
   && abs_float (a.null_mass -. b.null_mass) <= eps
   && Hashtbl.length a.rows = Hashtbl.length b.rows
   && Hashtbl.fold
-       (fun tuple p ok ->
+       (fun tuple r ok ->
          ok
          &&
          match prob_of_approx b tuple with
-         | Some q -> abs_float (q -. p) <= eps
+         | Some q -> abs_float (q -. !r) <= eps
          | None -> false)
        a.rows true
 

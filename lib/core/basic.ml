@@ -19,17 +19,31 @@ let eval_mapping ?rewrite_sw ?evaluate_sw ?aggregate_sw ~ctrs (ctx : Ctx.t) q ac
     m =
   let sq = timed rewrite_sw (fun () -> Reformulate.source_query ctx.target q m) in
   let p = m.Mapping.prob in
-  let rel =
+  match sq.Reformulate.body with
+  | Reformulate.Expr e when Ctx.engine ctx = Urm_relalg.Compile.Compiled ->
+    (* The compiled engine fuses evaluate and aggregate: plan rows stream
+       straight into the accumulator, never materialising the per-mapping
+       result.  The fused pass is charged to the evaluate phase (it is
+       dominated by plan execution); only the multiplicity factor remains
+       under aggregate. *)
+    let factor =
+      timed aggregate_sw (fun () -> Reformulate.factor ctx.catalog sq)
+    in
     timed evaluate_sw (fun () ->
-        match sq.Reformulate.body with
-        | Reformulate.Expr e -> Some (Eval.eval ~ctrs ctx.catalog e)
-        | Reformulate.Unsatisfiable | Reformulate.Trivial -> None)
-  in
-  timed aggregate_sw (fun () ->
-      let factor = Reformulate.factor ctx.catalog sq in
-      match rel with
-      | Some r -> Reformulate.answers_into acc sq ~factor r p
-      | None -> Reformulate.null_answer_into acc sq ~factor p)
+        Reformulate.stream_answers_into acc sq ~factor
+          (Ctx.eval_stream ~ctrs ctx e) p)
+  | body ->
+    let rel =
+      timed evaluate_sw (fun () ->
+          match body with
+          | Reformulate.Expr e -> Some (Ctx.eval ~ctrs ctx e)
+          | Reformulate.Unsatisfiable | Reformulate.Trivial -> None)
+    in
+    timed aggregate_sw (fun () ->
+        let factor = Reformulate.factor ctx.catalog sq in
+        match rel with
+        | Some r -> Reformulate.answers_into acc sq ~factor r p
+        | None -> Reformulate.null_answer_into acc sq ~factor p)
 
 let accumulate ~ctrs ctx q acc ms =
   List.iter (eval_mapping ~ctrs ctx q acc) ms

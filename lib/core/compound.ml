@@ -82,7 +82,7 @@ let run (ctx : Ctx.t) c ms =
     | None ->
       let rel =
         match sq.Reformulate.body with
-        | Reformulate.Expr e -> Some (Eval.eval ~ctrs ctx.catalog e)
+        | Reformulate.Expr e -> Some (Ctx.eval ~ctrs ctx e)
         | Reformulate.Unsatisfiable | Reformulate.Trivial -> None
       in
       let tuples =

@@ -2,6 +2,65 @@ type t = {
   catalog : Urm_relalg.Catalog.t;
   source : Urm_relalg.Schema.t;
   target : Urm_relalg.Schema.t;
+  engine : Urm_relalg.Compile.engine;
+  compile_env : Urm_relalg.Compile.env;
+  plans : Urm_relalg.Plan_cache.t;
 }
 
-let make ~catalog ~source ~target = { catalog; source; target }
+let make ?(engine = Urm_relalg.Compile.Compiled) ~catalog ~source ~target () =
+  {
+    catalog;
+    source;
+    target;
+    engine;
+    compile_env = Urm_relalg.Compile.create_env catalog;
+    plans = Urm_relalg.Plan_cache.create ();
+  }
+
+let engine t = t.engine
+
+let plan_of t e =
+  let compile () = Urm_relalg.Compile.compile t.compile_env e in
+  (* Mat fingerprints name ephemeral relation ids — one-shot expressions
+     (o-sharing e-units, e-MQO rewrites) compile directly, uncached. *)
+  if Urm_relalg.Algebra.contains_mat e then compile ()
+  else
+    Urm_relalg.Plan_cache.find_or_add t.plans (Urm_relalg.Algebra.fingerprint e)
+      compile
+
+let eval ?ctrs t e =
+  match t.engine with
+  | Urm_relalg.Compile.Interpreted -> Urm_relalg.Eval.eval ?ctrs t.catalog e
+  | Urm_relalg.Compile.Compiled ->
+    Urm_relalg.Plan.execute ?ctrs t.catalog (plan_of t e)
+
+(* [eval_stream ?ctrs t e] the result header plus a driver that streams
+   the result rows: compiled plans push rows straight out of the pipeline
+   (no materialised relation); the interpreted engine evaluates eagerly
+   here and the driver replays the relation. *)
+let eval_stream ?ctrs t e =
+  match t.engine with
+  | Urm_relalg.Compile.Interpreted ->
+    let r = Urm_relalg.Eval.eval ?ctrs t.catalog e in
+    (Urm_relalg.Relation.cols r, fun f -> Urm_relalg.Relation.iter f r)
+  | Urm_relalg.Compile.Compiled ->
+    let plan = plan_of t e in
+    ( Urm_relalg.Plan.header plan,
+      fun f -> Urm_relalg.Plan.iter_rows ?ctrs t.catalog plan ~f )
+
+(* Emptiness without materialising: products short-circuit structurally
+   (same shapes as the interpreter's [nonempty]); everything else asks the
+   compiled plan, which stops at the first produced row. *)
+let rec nonempty ?ctrs t e =
+  match t.engine with
+  | Urm_relalg.Compile.Interpreted -> Urm_relalg.Eval.nonempty ?ctrs t.catalog e
+  | Urm_relalg.Compile.Compiled -> (
+    match e with
+    | Urm_relalg.Algebra.Product (a, b) -> nonempty ?ctrs t a && nonempty ?ctrs t b
+    | Urm_relalg.Algebra.Rename (_, inner) -> nonempty ?ctrs t inner
+    | Urm_relalg.Algebra.Base n ->
+      not (Urm_relalg.Relation.is_empty (Urm_relalg.Catalog.find t.catalog n))
+    | Urm_relalg.Algebra.Mat r -> not (Urm_relalg.Relation.is_empty r)
+    | _ -> Urm_relalg.Plan.nonempty ?ctrs t.catalog (plan_of t e))
+
+let plan_stats t = Urm_relalg.Plan_cache.stats t.plans

@@ -1,13 +1,54 @@
-(** Evaluation context: the source instance and the two schemas. *)
+(** Evaluation context: the source instance, the two schemas, and the
+    query-execution engine.
+
+    The context owns a {!Urm_relalg.Compile.env} (per-catalog statistics +
+    compile counters) and a {!Urm_relalg.Plan_cache.t}, so every algorithm
+    that evaluates through {!eval} compiles each distinct query shape once
+    and executes it per mapping.  The engine defaults to [Compiled]; pass
+    [~engine:Interpreted] (CLI: [--engine interpreted]) for the
+    tree-walking evaluator. *)
 
 type t = {
   catalog : Urm_relalg.Catalog.t;  (** the source instance D *)
   source : Urm_relalg.Schema.t;
   target : Urm_relalg.Schema.t;
+  engine : Urm_relalg.Compile.engine;
+  compile_env : Urm_relalg.Compile.env;
+  plans : Urm_relalg.Plan_cache.t;
 }
 
 val make :
+  ?engine:Urm_relalg.Compile.engine ->
   catalog:Urm_relalg.Catalog.t ->
   source:Urm_relalg.Schema.t ->
   target:Urm_relalg.Schema.t ->
+  unit ->
   t
+
+val engine : t -> Urm_relalg.Compile.engine
+
+(** [eval ?ctrs t e] evaluates [e] through the context's engine.
+    [Compiled] looks the plan up in the context's plan cache (expressions
+    embedding [Mat] nodes compile uncached — their fingerprints are
+    one-shot) and executes it; [Interpreted] is {!Urm_relalg.Eval.eval}.
+    Both engines feed the same operator counters. *)
+val eval :
+  ?ctrs:Urm_relalg.Eval.counters -> t -> Urm_relalg.Algebra.t -> Urm_relalg.Relation.t
+
+(** [eval_stream ?ctrs t e] = [(header, drive)]: [drive f] invokes [f]
+    once per result row (same rows and order as {!eval}).  [Compiled]
+    streams out of the plan pipeline without materialising a relation —
+    the basic algorithm's fused evaluate-and-accumulate path;
+    [Interpreted] evaluates eagerly at the call and replays the rows. *)
+val eval_stream :
+  ?ctrs:Urm_relalg.Eval.counters ->
+  t ->
+  Urm_relalg.Algebra.t ->
+  string list * ((Urm_relalg.Value.t array -> unit) -> unit)
+
+(** Emptiness test; products short-circuit without materialising either
+    side on both engines. *)
+val nonempty : ?ctrs:Urm_relalg.Eval.counters -> t -> Urm_relalg.Algebra.t -> bool
+
+(** [(hits, misses, evictions)] of the context's plan cache. *)
+val plan_stats : t -> int * int * int

@@ -29,7 +29,7 @@ let eval_unit ?evaluate_sw ?aggregate_sw ~ctrs (ctx : Ctx.t) acc (sq, p) =
   let rel =
     timed evaluate_sw (fun () ->
         match sq.Reformulate.body with
-        | Reformulate.Expr e -> Some (Eval.eval ~ctrs ctx.catalog e)
+        | Reformulate.Expr e -> Some (Ctx.eval ~ctrs ctx e)
         | Reformulate.Unsatisfiable | Reformulate.Trivial -> None)
   in
   timed aggregate_sw (fun () ->

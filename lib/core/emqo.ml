@@ -32,7 +32,10 @@ let eval_units ~ctrs (ctx : Ctx.t) q units =
   in
   let (), evaluate =
     Urm_util.Timer.time (fun () ->
-        Urm_mqo.Planner.execute_iter ~ctrs ctx.catalog plan ~f:(fun i _ rel ->
+        Urm_mqo.Planner.execute_iter ~ctrs
+          ~eval:(fun e -> Ctx.eval ~ctrs ctx e)
+          ctx.catalog plan
+          ~f:(fun i _ rel ->
             let j = evaluable_idx.(i) in
             let sq, p = units.(j) in
             Reformulate.answers_into parts.(j) sq

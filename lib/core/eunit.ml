@@ -81,7 +81,7 @@ let run_qs env expr =
     r
   | None ->
     Urm_obs.Metrics.incr env.c_misses;
-    let r = Eval.eval ~ctrs:env.ctrs env.ctx.catalog expr in
+    let r = Ctx.eval ~ctrs:env.ctrs env.ctx expr in
     if env.use_memo then Hashtbl.replace env.memo fp r;
     r
 
@@ -464,7 +464,7 @@ let exec_output env u group =
       let proj_cols = List.sort_uniq String.compare out_cols in
       if proj_cols = [] then begin
         (* No output mapped: only (factored) emptiness matters. *)
-        if Eval.nonempty ~ctrs:env.ctrs env.ctx.catalog merged_hint then
+        if Ctx.nonempty ~ctrs:env.ctrs env.ctx merged_hint then
           Leaf (Tuples ([ Array.make (List.length outputs) Value.Null ], g_mass))
         else Leaf (Null_answer g_mass)
       end

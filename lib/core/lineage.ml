@@ -41,7 +41,7 @@ let run (ctx : Ctx.t) q ms =
       let ids = List.map (fun m -> m.Mapping.id) !members in
       let rel =
         match sq.Reformulate.body with
-        | Reformulate.Expr e -> Some (Eval.eval ctx.catalog e)
+        | Reformulate.Expr e -> Some (Ctx.eval ctx e)
         | Reformulate.Unsatisfiable | Reformulate.Trivial -> None
       in
       let tuples =

@@ -24,7 +24,7 @@ let estimate ?(seed = 17) ~samples (ctx : Ctx.t) q ms =
     | None ->
       let rel =
         match sq.Reformulate.body with
-        | Reformulate.Expr e -> Some (Eval.eval ctx.catalog e)
+        | Reformulate.Expr e -> Some (Ctx.eval ctx e)
         | Reformulate.Unsatisfiable | Reformulate.Trivial -> None
       in
       let tuples =

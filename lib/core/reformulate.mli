@@ -61,6 +61,19 @@ val column_for : alias:string -> source_attr:string -> string
     [factor]. *)
 val answers_into : Answer.t -> t -> factor:int -> Urm_relalg.Relation.t -> float -> unit
 
+(** [stream_answers_into acc sq ~factor (header, drive) p] the streaming
+    form of {!answers_into} used by the compiled engine's fused path:
+    [drive f] must invoke [f] once per result row of [sq]'s expression
+    (columns [header], see [Urm.Ctx.eval_stream]); target tuples fold into
+    [acc] as rows stream past, without a materialised relation. *)
+val stream_answers_into :
+  Answer.t ->
+  t ->
+  factor:int ->
+  string list * ((Urm_relalg.Value.t array -> unit) -> unit) ->
+  float ->
+  unit
+
 (** [null_answer_into acc sq ~factor p] the contribution of a mapping whose
     body is [Unsatisfiable] or [Trivial]: θ for plain queries; COUNT = 0
     (unsatisfiable) or COUNT = factor (trivial); SUM = Null. *)

@@ -35,7 +35,7 @@ let relation (ctx : Ctx.t) m target_rel_name =
       List.sort_uniq String.compare (List.map (fun (_, src) -> col_of src) mapped)
     in
     let result =
-      Eval.eval ctx.catalog
+      Ctx.eval ctx
         (Algebra.Distinct (Algebra.Project (proj_cols, from_expr)))
     in
     let getters =

@@ -189,7 +189,10 @@ let plan ?stats cat queries =
 (* Execution: evaluate with a fingerprint-keyed memo so every shared
    subexpression runs exactly once. *)
 
-let execute_iter ?ctrs cat p ~f =
+let execute_iter ?ctrs ?eval cat p ~f =
+  let eval_expr =
+    match eval with Some f -> f | None -> Eval.eval ?ctrs cat
+  in
   let memo : (string, Relation.t) Hashtbl.t = Hashtbl.create 64 in
   let shared_set = Hashtbl.create 64 in
   List.iter
@@ -204,7 +207,7 @@ let execute_iter ?ctrs cat p ~f =
     match Hashtbl.find_opt memo fp with
     | Some r -> r
     | None ->
-      let r = Eval.eval ?ctrs cat (swap_children e) in
+      let r = eval_expr (swap_children e) in
       if Hashtbl.mem shared_set fp then Hashtbl.replace memo fp r;
       r
   and swap e =
@@ -225,7 +228,7 @@ let execute_iter ?ctrs cat p ~f =
   List.iter (fun e -> ignore (eval_memo e)) p.shared_exprs;
   List.iteri (fun i q -> f i q (eval_memo q)) p.queries
 
-let execute ?ctrs cat p =
+let execute ?ctrs ?eval cat p =
   let out = ref [] in
-  execute_iter ?ctrs cat p ~f:(fun _ q r -> out := (q, r) :: !out);
+  execute_iter ?ctrs ?eval cat p ~f:(fun _ q r -> out := (q, r) :: !out);
   List.rev !out

@@ -34,21 +34,25 @@ val metrics : plan -> metrics
 (** Fingerprints of the chosen shared subexpressions, in evaluation order. *)
 val shared : plan -> Urm_relalg.Algebra.t list
 
-(** [execute ?ctrs cat p] evaluates every input query under the plan,
+(** [execute ?ctrs ?eval cat p] evaluates every input query under the plan,
     materialising shared subexpressions once.  Results are returned in input
     order.  [ctrs] counts operator executions (shared operators count
-    once). *)
+    once).  [eval] substitutes the expression evaluator (the core library
+    passes [Urm.Ctx.eval] so the swapped expressions run through the
+    context's engine); defaults to {!Urm_relalg.Eval.eval}. *)
 val execute :
   ?ctrs:Urm_relalg.Eval.counters ->
+  ?eval:(Urm_relalg.Algebra.t -> Urm_relalg.Relation.t) ->
   Urm_relalg.Catalog.t ->
   plan ->
   (Urm_relalg.Algebra.t * Urm_relalg.Relation.t) list
 
-(** [execute_iter ?ctrs cat p ~f] like {!execute} but streams each query's
-    result to [f index query relation] instead of retaining all results
-    (shared materialisations are still cached for the duration). *)
+(** [execute_iter ?ctrs ?eval cat p ~f] like {!execute} but streams each
+    query's result to [f index query relation] instead of retaining all
+    results (shared materialisations are still cached for the duration). *)
 val execute_iter :
   ?ctrs:Urm_relalg.Eval.counters ->
+  ?eval:(Urm_relalg.Algebra.t -> Urm_relalg.Relation.t) ->
   Urm_relalg.Catalog.t ->
   plan ->
   f:(int -> Urm_relalg.Algebra.t -> Urm_relalg.Relation.t -> unit) ->

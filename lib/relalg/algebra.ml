@@ -64,6 +64,10 @@ let children = function
 
 let rec subexpressions t = t :: List.concat_map subexpressions (children t)
 
+let rec contains_mat = function
+  | Mat _ -> true
+  | e -> List.exists contains_mat (children e)
+
 let rec pp ppf = function
   | Base n -> Format.pp_print_string ppf n
   | Mat r ->

@@ -47,6 +47,11 @@ val children : t -> t list
 (** All subexpressions including [t] itself (pre-order). *)
 val subexpressions : t -> t list
 
+(** Whether the expression embeds a materialised intermediate ([Mat]).
+    Such expressions are one-shot: their fingerprint is only stable for the
+    lifetime of the embedded relation, so plan caches must not key on it. *)
+val contains_mat : t -> bool
+
 (** [output_col agg] is the column name carried by an aggregate's one-row
     result (e.g. ["count"], ["sum(x)"]). *)
 val output_col : agg -> string

@@ -144,33 +144,79 @@ let count ctrs kind rel =
 let bump ctrs kind =
   match ctrs with Some c -> Urm_obs.Metrics.incr (kind c.m) | None -> ()
 
+(* The same accounting, exposed to the compiled engine ({!Plan}), which has
+   row counts rather than result relations in hand. *)
+type op_kind =
+  | Op_select
+  | Op_project
+  | Op_distinct
+  | Op_product
+  | Op_join
+  | Op_aggregate
+  | Op_groupby
+
+type access_path = Index_probe | Scan
+
+let op_counter m = function
+  | Op_select -> m.op_select
+  | Op_project -> m.op_project
+  | Op_distinct -> m.op_distinct
+  | Op_product -> m.op_product
+  | Op_join -> m.op_join
+  | Op_aggregate -> m.op_aggregate
+  | Op_groupby -> m.op_groupby
+
+let record_op ctrs kind ~rows =
+  match ctrs with
+  | None -> ()
+  | Some c ->
+    c.operators <- c.operators + 1;
+    c.rows_produced <- c.rows_produced + rows;
+    Urm_obs.Metrics.incr c.m.ops;
+    Urm_obs.Metrics.incr ~by:rows c.m.rows;
+    Urm_obs.Metrics.incr (op_counter c.m kind)
+
+let record_access ctrs path =
+  bump ctrs (fun m -> match path with Index_probe -> m.sel_index | Scan -> m.sel_scan)
+
+(* One forward pass per aggregate; no per-column value list is ever
+   materialised.  Null is the neutral element throughout: Sum folds with
+   [Value.add] (which absorbs Null and rejects strings), and Avg follows the
+   same contract — nulls are skipped, a string operand raises. *)
 let aggregate agg rel =
-  let col_values col =
+  let fold col f init =
     let pos = Relation.col_pos rel col in
-    Relation.fold (fun acc row -> row.(pos) :: acc) [] rel
+    Relation.fold (fun acc row -> f acc row.(pos)) init rel
   in
-  let non_null col = List.filter (fun v -> not (Value.is_null v)) (col_values col) in
+  let extremum col keep =
+    fold col
+      (fun acc v ->
+        if Value.is_null v then acc
+        else
+          match acc with
+          | Some best when not (keep (Value.compare v best)) -> acc
+          | _ -> Some v)
+      None
+    |> Option.value ~default:Value.Null
+  in
   let v =
     match agg with
     | Algebra.Count -> Value.Int (Relation.cardinality rel)
-    | Algebra.Sum col -> List.fold_left Value.add Value.Null (non_null col)
-    | Algebra.Avg col -> begin
-      let vs = List.filter_map Value.to_float_opt (col_values col) in
-      match vs with
-      | [] -> Value.Null
-      | _ ->
-        Value.Float (List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs))
-    end
-    | Algebra.Min col -> begin
-      match non_null col with
-      | [] -> Value.Null
-      | v :: vs -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v vs
-    end
-    | Algebra.Max col -> begin
-      match non_null col with
-      | [] -> Value.Null
-      | v :: vs -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v vs
-    end
+    | Algebra.Sum col -> fold col Value.add Value.Null
+    | Algebra.Avg col ->
+      let sum, n =
+        fold col
+          (fun (sum, n) v ->
+            if Value.is_null v then (sum, n)
+            else
+              match Value.to_float_opt v with
+              | Some f -> (sum +. f, n + 1)
+              | None -> invalid_arg "Value.add: string operand")
+          (0., 0)
+      in
+      if n = 0 then Value.Null else Value.Float (sum /. float_of_int n)
+    | Algebra.Min col -> extremum col (fun c -> c < 0)
+    | Algebra.Max col -> extremum col (fun c -> c > 0)
   in
   Relation.create ~cols:[ Algebra.output_col agg ] [ [| v |] ]
 
@@ -238,21 +284,34 @@ let hash_join ?ctrs cat eval_sub pred a b =
     match find_key conjs with
     | Some (used, (ka, kb)) ->
       let pa = Relation.col_pos ra ka and pb = Relation.col_pos rb kb in
-      let table = Hashtbl.create (max 16 (Relation.cardinality rb)) in
+      (* Build the hash table on the smaller input and probe with the larger;
+         output rows stay (a-row, b-row) whichever side is built. *)
+      let build_a = Relation.cardinality ra <= Relation.cardinality rb in
+      let build, bpos, probe, ppos =
+        if build_a then (ra, pa, rb, pb) else (rb, pb, ra, pa)
+      in
+      let table = Hashtbl.create (max 16 (Relation.cardinality build)) in
       Relation.iter
         (fun row ->
-          let key = row.(pb) in
+          let key = row.(bpos) in
           let prev = try Hashtbl.find table key with Not_found -> [] in
           Hashtbl.replace table key (row :: prev))
-        rb;
+        build;
       let out = ref [] in
       Relation.iter
-        (fun rowa ->
-          match Hashtbl.find_opt table rowa.(pa) with
+        (fun prow ->
+          match Hashtbl.find_opt table prow.(ppos) with
           | None -> ()
-          | Some rowsb ->
-            List.iter (fun rowb -> out := Array.append rowa rowb :: !out) rowsb)
-        ra;
+          | Some matches ->
+            List.iter
+              (fun brow ->
+                let joined =
+                  if build_a then Array.append brow prow
+                  else Array.append prow brow
+                in
+                out := joined :: !out)
+              matches)
+        probe;
       let rel = Relation.of_rows ~cols:(acols @ bcols) (Array.of_list !out) in
       let remaining = List.filter (fun c -> c != used) conjs in
       if remaining = [] then rel else Pred.eval_on rel (Pred.conj remaining)

@@ -39,7 +39,35 @@ val cols_of : Catalog.t -> Algebra.t -> string list
     cost model. *)
 val optimize : Catalog.t -> Algebra.t -> Algebra.t
 
+(** [strip_prefix p col] removes a rename prefix ["p#"] from [col] if
+    present ([strip_prefix "a" "a#x" = Some "x"]). *)
+val strip_prefix : string -> string -> string option
+
 (** [nonempty ?ctrs cat e] whether [e] has at least one row, without
     materialising Cartesian products (a product is non-empty iff both sides
     are). *)
 val nonempty : ?ctrs:counters -> Catalog.t -> Algebra.t -> bool
+
+(** {2 Accounting hooks for the compiled engine}
+
+    {!Plan} executes closures rather than algebra nodes, so it records
+    operator executions through these hooks instead of the evaluator's
+    internal helpers — both engines feed the same counters. *)
+
+type op_kind =
+  | Op_select
+  | Op_project
+  | Op_distinct
+  | Op_product
+  | Op_join
+  | Op_aggregate
+  | Op_groupby
+
+type access_path = Index_probe | Scan
+
+(** [record_op ctrs kind ~rows] accounts one executed operator of [kind]
+    that produced [rows] rows.  No-op when [ctrs] is [None]. *)
+val record_op : counters option -> op_kind -> rows:int -> unit
+
+(** Account a selection's access-path decision (index probe vs scan). *)
+val record_access : counters option -> access_path -> unit

@@ -1,0 +1,28 @@
+(** A mutex-protected LRU cache of compiled {!Plan.t}s.
+
+    Keys are {!Algebra.fingerprint}s of unoptimised expressions; base
+    relations are plan parameters, so one cached plan serves every
+    execution of that query shape.  Expressions embedding [Algebra.Mat]
+    nodes must not be cached (their fingerprints name ephemeral relation
+    ids); [Urm.Ctx] bypasses the cache for them.
+
+    Counters [plan_cache/{hit,miss,evict}] are registered in the given
+    metrics registry; {!stats} exposes the same numbers directly (used by
+    the service's stats section, which reports per-session caches). *)
+
+type t
+
+(** [create ?metrics ?capacity ()] — [capacity] defaults to 256 plans and
+    must be positive. *)
+val create : ?metrics:Urm_obs.Metrics.t -> ?capacity:int -> unit -> t
+
+(** [find_or_add t key compile] returns the cached plan for [key] or runs
+    [compile] and caches its result.  [compile] runs outside the lock:
+    concurrent misses on one key may compile twice; the first insert wins. *)
+val find_or_add : t -> string -> (unit -> Plan.t) -> Plan.t
+
+(** [(hits, misses, evictions)] since creation. *)
+val stats : t -> int * int * int
+
+val length : t -> int
+val capacity : t -> int

@@ -9,6 +9,7 @@ type config = {
   cache_capacity : int;
   send_timeout : float;
   eval_jobs : int;
+  engine : Urm_relalg.Compile.engine;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     cache_capacity = 256;
     send_timeout = 10.;
     eval_jobs = 1;
+    engine = Urm_relalg.Compile.Compiled;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -304,7 +306,10 @@ let exec_open_session t req : (Json.t, failure) result =
     let seed = Protocol.int_param req "seed" in
     let scale = Protocol.float_param req "scale" in
     let h = Protocol.int_param req "h" in
-    match Session.open_session t.session_catalog ?name ?seed ?scale ?h ~target () with
+    match
+      Session.open_session t.session_catalog ?name ~engine:t.cfg.engine ?seed
+        ?scale ?h ~target ()
+    with
     | Error msg -> Error (`Conflict msg)
     | Ok (s, created) -> (
       match Session.to_json s with
@@ -335,6 +340,17 @@ let exec_metrics t : Json.t =
       ( "cache",
         Json.Obj [ ("hit", num hits); ("miss", num misses); ("evict", num evictions) ]
       );
+      (* Plan-cache totals across open sessions (each context owns one). *)
+      ( "plan_cache",
+        let hit, miss, evict =
+          List.fold_left
+            (fun (h, m, e) s ->
+              let h', m', e' = Urm.Ctx.plan_stats s.Session.ctx in
+              (h + h', m + m', e + e'))
+            (0, 0, 0)
+            (Session.list t.session_catalog)
+        in
+        Json.Obj [ ("hit", num hit); ("miss", num miss); ("evict", num evict) ] );
       ( "queue",
         Json.Obj
           [

@@ -34,6 +34,10 @@ type config = {
           {!Urm_par.Pool} across the worker domains and routes [query]
           requests through the parallel drivers (answers are bit-identical
           to sequential evaluation; see lib/par).  Default [1]. *)
+  engine : Urm_relalg.Compile.engine;
+      (** query-execution engine for sessions this server opens (default
+          compiled); [metrics] requests report the sessions' plan-cache
+          hit/miss/evict totals under ["plan_cache"]. *)
 }
 
 val default_config : config

@@ -38,9 +38,9 @@ let same_params s ~target_name ~seed ~scale ~h =
   && Float.equal s.scale scale
   && s.h = h
 
-let build ~name ~target_name ~target ~seed ~scale ~h =
+let build ?engine ~name ~target_name ~target ~seed ~scale ~h () =
   let pipeline = Urm_workload.Pipeline.create ~seed ~scale () in
-  let ctx = Urm_workload.Pipeline.ctx pipeline target in
+  let ctx = Urm_workload.Pipeline.ctx ?engine pipeline target in
   let mappings = Urm_workload.Pipeline.mappings pipeline target ~h in
   (* Indexes must exist before concurrent evaluation: lazy construction
      inside a worker would race (Catalog is a plain Hashtbl). *)
@@ -67,8 +67,8 @@ let conflict s =
         seed %d, scale %g, h %d)"
        s.name s.target_name s.seed s.scale s.h)
 
-let open_session c ?name ?(seed = 42) ?(scale = Urm_tpch.Gen.default_scale)
-    ?(h = 100) ~target () =
+let open_session c ?name ?engine ?(seed = 42)
+    ?(scale = Urm_tpch.Gen.default_scale) ?(h = 100) ~target () =
   match Urm_workload.Targets.by_name target with
   | exception Not_found ->
     Error (Printf.sprintf "unknown target schema %S (Excel|Noris|Paragon)" target)
@@ -90,7 +90,9 @@ let open_session c ?name ?(seed = 42) ?(scale = Urm_tpch.Gen.default_scale)
     (match existing with
     | Some result -> result
     | None ->
-      let s = build ~name ~target_name ~target:target_schema ~seed ~scale ~h in
+      let s =
+        build ?engine ~name ~target_name ~target:target_schema ~seed ~scale ~h ()
+      in
       locked c (fun () ->
           match Hashtbl.find_opt c.sessions s.name with
           | Some clash when same_params clash ~target_name ~seed ~scale ~h ->

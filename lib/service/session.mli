@@ -32,18 +32,21 @@ type catalog
 
 val create_catalog : unit -> catalog
 
-(** [open_session catalog ?name ?seed ?scale ?h ~target ()] finds or
-    builds a session.  Defaults: seed 42, scale
+(** [open_session catalog ?name ?engine ?seed ?scale ?h ~target ()] finds
+    or builds a session.  Defaults: engine compiled, seed 42, scale
     {!Urm_tpch.Gen.default_scale}, h 100, name derived from the
     fingerprint.  Returns [(session, created)] where [created] is [false]
     when an identical session (same name, same parameters) already
     existed.  [Error]s: unknown target schema, or an existing session of
     the same name with different parameters.  The build runs outside the
     catalog lock; concurrent opens of the same name may each build, but
-    only the first insert wins and the others observe it. *)
+    only the first insert wins and the others observe it.  The engine is
+    not part of the fingerprint — both engines return identical answers,
+    so cached answers remain valid across the knob. *)
 val open_session :
   catalog ->
   ?name:string ->
+  ?engine:Urm_relalg.Compile.engine ->
   ?seed:int ->
   ?scale:float ->
   ?h:int ->

@@ -48,6 +48,7 @@ type config = {
   k_sweep : int list;
   runs : int;
   jobs : int;
+  engine : Urm_relalg.Compile.engine;
 }
 
 let default =
@@ -60,6 +61,7 @@ let default =
     k_sweep = [ 1; 5; 10; 15; 20 ];
     runs = 1;
     jobs = 1;
+    engine = Urm_relalg.Compile.Compiled;
   }
 
 let quick =
@@ -72,6 +74,7 @@ let quick =
     k_sweep = [ 1; 3 ];
     runs = 1;
     jobs = 1;
+    engine = Urm_relalg.Compile.Compiled;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -119,7 +122,7 @@ let pipeline cfg ~scale =
 let setup cfg ?(scale = 1.0) ?h (target, q) =
   let h = Option.value ~default:cfg.h h in
   let p = pipeline cfg ~scale:(cfg.scale *. scale) in
-  (Pipeline.ctx p target, q, Pipeline.mappings p target ~h)
+  (Pipeline.ctx ~engine:cfg.engine p target, q, Pipeline.mappings p target ~h)
 
 (* ------------------------------------------------------------------ *)
 
@@ -410,7 +413,7 @@ let abl_stats cfg =
       (fun qname ->
         let target, q = Queries.by_name qname in
         let p = pipeline cfg ~scale:cfg.scale in
-        let ctx = Pipeline.ctx p target in
+        let ctx = Pipeline.ctx ~engine:cfg.engine p target in
         let ms = Pipeline.mappings p target ~h:cfg.h in
         let distinct = Ebasic.distinct_source_queries ctx q ms in
         let exprs =

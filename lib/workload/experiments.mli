@@ -28,6 +28,9 @@ type config = {
       (** evaluation domains; [> 1] routes the exact algorithms through
           {!Urm_par.Drivers.run} (answers are bit-identical to [jobs = 1],
           see lib/par) *)
+  engine : Urm_relalg.Compile.engine;
+      (** query-execution engine for the contexts built by the experiments
+          (default compiled; see {!Urm_relalg.Compile}) *)
 }
 
 (** seed 42, scale 0.03, h = 100, h_sweep 100..500, scale 0.2×..1×,

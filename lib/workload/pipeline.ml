@@ -17,8 +17,8 @@ let scale p = p.scale
 let seed p = p.seed
 let instance_rows p = Urm_relalg.Catalog.total_rows p.catalog
 
-let ctx p target =
-  Urm.Ctx.make ~catalog:p.catalog ~source:Urm_tpch.Gen.schema ~target
+let ctx ?engine p target =
+  Urm.Ctx.make ?engine ~catalog:p.catalog ~source:Urm_tpch.Gen.schema ~target ()
 
 let rec take n = function
   | [] -> []

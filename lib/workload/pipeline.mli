@@ -15,8 +15,10 @@ val seed : t -> int
 (** Total tuples in the source instance (the "database size" axis). *)
 val instance_rows : t -> int
 
-(** [ctx p target] evaluation context for one target schema. *)
-val ctx : t -> Urm_relalg.Schema.t -> Urm.Ctx.t
+(** [ctx ?engine p target] evaluation context for one target schema.
+    [engine] selects the execution engine (default compiled). *)
+val ctx :
+  ?engine:Urm_relalg.Compile.engine -> t -> Urm_relalg.Schema.t -> Urm.Ctx.t
 
 (** [mappings p target ~h] the h-best possible mappings for [target]
     (memoised: repeated calls with the same target name and [h] are free;

@@ -56,7 +56,7 @@ let catalog () =
     (Relation.create ~cols:[ "nid"; "name" ] [ [| i 1; s "HK" |]; [| i 2; s "CN" |] ]);
   cat
 
-let ctx () = Urm.Ctx.make ~catalog:(catalog ()) ~source ~target
+let ctx () = Urm.Ctx.make ~catalog:(catalog ()) ~source ~target ()
 
 let mk id prob pairs = Urm.Mapping.make ~id ~prob ~score:prob pairs
 
@@ -538,7 +538,7 @@ let test_topk_table2_scenario () =
          [| i 2; s "tb"; s "000"; s "123"; s "998"; s "x"; s "hk"; i 1 |];
          [| i 3; s "tc"; s "001"; s "123"; s "997"; s "x"; s "hk"; i 1 |];
        ]);
-  let ctx = Urm.Ctx.make ~catalog:cat ~source ~target in
+  let ctx = Urm.Ctx.make ~catalog:cat ~source ~target () in
   let ms =
     [
       (* mass 0.5: phone→ophone, addr→oaddr — empty (θ) *)

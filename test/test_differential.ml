@@ -38,35 +38,54 @@ let modes =
         Urm_par.Drivers.run ~pool:(Lazy.force pool4) alg ctx q ms );
   ]
 
-(* All algorithms, all modes, against sequential basic.  Returns the first
+(* All algorithms, all modes, all engines, against the interpreted
+   sequential basic.  [ctxs] is a list of (engine label, context) over the
+   same catalog — the first one is the baseline's.  Returns the first
    disagreement as a counterexample description. *)
-let disagreement ctx q ms =
+let disagreement ctxs q ms =
+  let _, baseline_ctx = List.hd ctxs in
   let baseline =
-    (Urm.Algorithms.run Urm.Algorithms.Basic ctx q ms).Urm.Report.answer
+    (Urm.Algorithms.run Urm.Algorithms.Basic baseline_ctx q ms).Urm.Report.answer
   in
   List.fold_left
-    (fun acc alg ->
+    (fun acc (engine, ctx) ->
       match acc with
       | Some _ -> acc
       | None ->
         List.fold_left
-          (fun acc (mode, run) ->
+          (fun acc alg ->
             match acc with
             | Some _ -> acc
             | None ->
-              let answer = (run alg ctx q ms).Urm.Report.answer in
-              if Urm.Answer.equal ~eps:Urm.Prob.eps baseline answer then None
-              else
-                Some
-                  (Printf.sprintf "%s (%s) disagrees with sequential basic"
-                     (Urm.Algorithms.name alg) mode))
-          None modes)
-    None exact_algorithms
+              List.fold_left
+                (fun acc (mode, run) ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                    let answer = (run alg ctx q ms).Urm.Report.answer in
+                    if Urm.Answer.equal ~eps:Urm.Prob.eps baseline answer then
+                      None
+                    else
+                      Some
+                        (Printf.sprintf
+                           "%s (%s, %s) disagrees with interpreted sequential \
+                            basic"
+                           (Urm.Algorithms.name alg) mode engine))
+                None modes)
+          None exact_algorithms)
+    None ctxs
 
-let check_agreement ctx q ms =
-  match disagreement ctx q ms with
+let check_agreement ctxs q ms =
+  match disagreement ctxs q ms with
   | None -> true
   | Some msg -> QCheck.Test.fail_report msg
+
+(* Interpreted first (it provides the baseline), then compiled. *)
+let both_engines mk =
+  [
+    ("interpreted", mk Urm_relalg.Compile.Interpreted);
+    ("compiled", mk Urm_relalg.Compile.Compiled);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Random mapping distributions over the running-example schemas. *)
@@ -188,7 +207,13 @@ let qcheck_running_example =
     (QCheck.make QCheck.Gen.(pair query_gen mappings_gen))
     (fun (q, ms) ->
       QCheck.assume (ms <> []);
-      check_agreement (Test_core.ctx ()) q ms)
+      let cat = Test_core.catalog () in
+      let ctxs =
+        both_engines (fun engine ->
+            Urm.Ctx.make ~engine ~catalog:cat ~source:Test_core.source
+              ~target:Test_core.target ())
+      in
+      check_agreement ctxs q ms)
 
 (* ------------------------------------------------------------------ *)
 (* Random queries over the workload schemas (Excel), with matcher-derived
@@ -221,9 +246,11 @@ let qcheck_workload =
     (fun (q, h) ->
       let p = Lazy.force workload in
       let excel = Urm_workload.Targets.excel in
-      let ctx = Urm_workload.Pipeline.ctx p excel in
+      let ctxs =
+        both_engines (fun engine -> Urm_workload.Pipeline.ctx ~engine p excel)
+      in
       let ms = Urm_workload.Pipeline.mappings p excel ~h in
-      check_agreement ctx q ms)
+      check_agreement ctxs q ms)
 
 (* ------------------------------------------------------------------ *)
 (* Top-k answers are a prefix of the full ranking. *)

@@ -40,7 +40,7 @@ let catalog () =
        [ [| i 10; i 1; f 5. |]; [| i 11; i 3; f 7. |] ]);
   cat
 
-let ctx () = Urm.Ctx.make ~catalog:(catalog ()) ~source ~target
+let ctx () = Urm.Ctx.make ~catalog:(catalog ()) ~source ~target ()
 let mk id prob pairs = Urm.Mapping.make ~id ~prob ~score:prob pairs
 
 let mappings () =

@@ -38,7 +38,7 @@ let catalog () =
        ]);
   cat
 
-let ctx () = Urm.Ctx.make ~catalog:(catalog ()) ~source ~target
+let ctx () = Urm.Ctx.make ~catalog:(catalog ()) ~source ~target ()
 
 let mk id prob pairs = Urm.Mapping.make ~id ~prob ~score:prob pairs
 

@@ -18,4 +18,5 @@ let () =
       ("service", Test_service.suite);
       ("par", Test_par.suite);
       ("differential", Test_differential.suite);
+      ("plan", Test_plan.suite);
     ]

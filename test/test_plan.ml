@@ -1,0 +1,357 @@
+(* The compiled-engine differential suite.
+
+   qcheck generators produce random small catalogs (typed columns with
+   nulls, duplicates and skew, so join orders and build sides actually
+   vary) and random algebra expressions over them (selections, equi- and
+   theta-joins, products, projections, distinct, aggregates, group-by).
+   The property: [Compile.compile |> Plan.execute] returns exactly the
+   same header and row multiset as the tree-walking interpreter, both
+   with and without the logical optimiser.
+
+   Deterministic unit tests cover the plan cache's hit/miss/evict
+   accounting, cost-based build-side selection, aggregate null/string
+   semantics, and the [Urm.Ctx] cross-mapping plan reuse. *)
+
+open Urm_relalg
+
+let i n = Value.Int n
+let s v = Value.Str v
+let f x = Value.Float x
+
+(* ------------------------------------------------------------------ *)
+(* Random catalogs: R(a:int, b:str, c:int), S(c:int, d:float?), T(e:int).
+   Join keys draw from a small domain so matches are common. *)
+
+let value_int_gen = QCheck.Gen.(map i (0 -- 4))
+
+let value_str_gen =
+  QCheck.Gen.(oneofl [ s "x"; s "y"; s "z"; Value.Null ])
+
+let value_float_gen =
+  QCheck.Gen.(
+    oneof [ map f (float_range (-2.) 2.); return Value.Null; map i (0 -- 3) ])
+
+let rows_gen ~max_rows cell_gens =
+  QCheck.Gen.(
+    list_size (0 -- max_rows)
+      (map Array.of_list (flatten_l cell_gens)))
+
+let catalog_gen =
+  QCheck.Gen.(
+    let* r_rows =
+      rows_gen ~max_rows:30 [ value_int_gen; value_str_gen; value_int_gen ]
+    in
+    let* s_rows = rows_gen ~max_rows:12 [ value_int_gen; value_float_gen ] in
+    let* t_rows = rows_gen ~max_rows:6 [ value_int_gen ] in
+    return
+      (let cat = Catalog.create () in
+       Catalog.add cat "R" (Relation.create ~cols:[ "a"; "b"; "c" ] r_rows);
+       Catalog.add cat "S" (Relation.create ~cols:[ "c"; "d" ] s_rows);
+       Catalog.add cat "T" (Relation.create ~cols:[ "e" ] t_rows);
+       cat))
+
+(* ------------------------------------------------------------------ *)
+(* Random expressions.  Bases are renamed (the algorithms' shape), so
+   every column is alias-qualified and the cluster lowering sees the
+   general case. *)
+
+let r_ = Algebra.Rename ("r", Algebra.Base "R")
+let s_ = Algebra.Rename ("s", Algebra.Base "S")
+let t_ = Algebra.Rename ("t", Algebra.Base "T")
+
+let cmp_gen = QCheck.Gen.oneofl [ Pred.Eq; Pred.Ne; Pred.Lt; Pred.Ge ]
+
+let pred_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* c = cmp_gen and* v = value_int_gen in
+         return (Pred.Cmp (c, "r#a", v)));
+        (let* v = oneofl [ s "x"; s "y" ] in
+         return (Pred.Cmp (Pred.Eq, "r#b", v)));
+        (let* c = cmp_gen and* v = value_int_gen in
+         return (Pred.Cmp (c, "s#c", v)));
+        return (Pred.CmpCols (Pred.Eq, "r#c", "s#c"));
+        return (Pred.CmpCols (Pred.Ne, "r#a", "s#c"));
+      ])
+
+(* A joined body over r and s (sometimes t), with 0–2 extra conjuncts. *)
+let body_gen =
+  QCheck.Gen.(
+    let* extra = list_size (0 -- 2) pred_gen in
+    let* shape = 0 -- 3 in
+    let conj base = List.fold_left (fun e p -> Algebra.Select (p, e)) base extra in
+    match shape with
+    | 0 -> return (conj (Algebra.Join (Pred.CmpCols (Pred.Eq, "r#c", "s#c"), r_, s_)))
+    | 1 -> return (conj (Algebra.Product (r_, s_)))
+    | 2 -> return (conj (Algebra.Product (Algebra.Product (r_, s_), t_)))
+    | _ -> return (conj r_))
+
+let expr_gen =
+  QCheck.Gen.(
+    let* body = body_gen in
+    let has_s =
+      match body with
+      | Algebra.Rename ("r", _) -> false
+      | _ -> true
+    in
+    let proj_cols =
+      if has_s then [ "r#b"; "s#c" ] else [ "r#b"; "r#a" ]
+    in
+    let* shape = 0 -- 5 in
+    match shape with
+    | 0 -> return body
+    | 1 -> return (Algebra.Project (proj_cols, body))
+    | 2 -> return (Algebra.Distinct (Algebra.Project (proj_cols, body)))
+    | 3 ->
+      let* agg =
+        oneofl
+          [ Algebra.Count; Algebra.Sum "r#a"; Algebra.Min "r#b"; Algebra.Max "r#c" ]
+      in
+      return (Algebra.Aggregate (agg, body))
+    | 4 ->
+      let* agg = oneofl [ Algebra.Count; Algebra.Avg "r#a" ] in
+      return (Algebra.GroupBy ([ "r#b" ], agg, body))
+    | _ -> return (Algebra.Distinct body))
+
+(* ------------------------------------------------------------------ *)
+(* The differential property. *)
+
+let rows_of r = Relation.fold (fun acc row -> row :: acc) [] r
+
+let compare_rows a b =
+  let n = compare (Array.length a) (Array.length b) in
+  if n <> 0 then n
+  else
+    let rec go k =
+      if k = Array.length a then 0
+      else
+        let c = Value.compare a.(k) b.(k) in
+        if c <> 0 then c else go (k + 1)
+    in
+    go 0
+
+let same_multiset ra rb =
+  let sa = List.sort compare_rows (rows_of ra) in
+  let sb = List.sort compare_rows (rows_of rb) in
+  List.length sa = List.length sb
+  && List.for_all2
+       (fun a b ->
+         Array.length a = Array.length b
+         && Array.for_all2 (fun x y -> Value.approx_equal x y) a b)
+       sa sb
+
+let outcome run =
+  match run () with
+  | r -> Ok r
+  | exception Not_found -> Error "Not_found"
+  | exception Invalid_argument m -> Error ("Invalid_argument " ^ m)
+
+let agree oa ob =
+  match (oa, ob) with
+  | Ok ra, Ok rb ->
+    List.equal String.equal (Relation.cols ra) (Relation.cols rb)
+    && same_multiset ra rb
+  | Error a, Error b -> String.equal a b
+  | _ -> false
+
+let qcheck_compiled_vs_interpreted =
+  QCheck.Test.make
+    ~name:"compiled plans agree with the interpreter on random catalogs × exprs"
+    ~count:200
+    (QCheck.make QCheck.Gen.(pair catalog_gen expr_gen))
+    (fun (cat, e) ->
+      let interp = outcome (fun () -> Eval.eval cat e) in
+      let unopt = outcome (fun () -> Eval.eval ~optimize:false cat e) in
+      let compiled =
+        outcome (fun () ->
+            let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
+            Plan.execute cat (Compile.compile env e))
+      in
+      if not (agree interp unopt) then
+        QCheck.Test.fail_reportf "optimised interpreter disagrees on %s"
+          (Algebra.to_string e)
+      else if not (agree interp compiled) then
+        QCheck.Test.fail_reportf "compiled engine disagrees on %s"
+          (Algebra.to_string e)
+      else true)
+
+(* Indexing off exercises the scan path of compiled index probes. *)
+let qcheck_compiled_no_index =
+  QCheck.Test.make
+    ~name:"compiled plans agree with the interpreter when indexing is disabled"
+    ~count:60
+    (QCheck.make QCheck.Gen.(pair catalog_gen expr_gen))
+    (fun (cat, e) ->
+      Catalog.set_indexing cat false;
+      let interp = outcome (fun () -> Eval.eval cat e) in
+      let compiled =
+        outcome (fun () ->
+            let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
+            Plan.execute cat (Compile.compile env e))
+      in
+      agree interp compiled
+      || QCheck.Test.fail_reportf "compiled (no index) disagrees on %s"
+           (Algebra.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Plan-cache accounting. *)
+
+let fixed_catalog () =
+  let cat = Catalog.create () in
+  Catalog.add cat "R"
+    (Relation.create ~cols:[ "a"; "b"; "c" ]
+       (List.init 100 (fun k -> [| i (k mod 5); s "x"; i (k mod 3) |])));
+  Catalog.add cat "S"
+    (Relation.create ~cols:[ "c"; "d" ] [ [| i 0; f 1. |]; [| i 1; f 2. |] ]);
+  Catalog.add cat "T" (Relation.create ~cols:[ "e" ] [ [| i 0 |] ]);
+  cat
+
+let test_cache_accounting () =
+  let cat = fixed_catalog () in
+  let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
+  let cache =
+    Plan_cache.create ~metrics:(Urm_obs.Metrics.create ()) ~capacity:2 ()
+  in
+  let exprs =
+    [
+      ("k1", Algebra.Base "R");
+      ("k2", Algebra.Base "S");
+      ("k3", Algebra.Base "T");
+    ]
+  in
+  let get k = Plan_cache.find_or_add cache k (fun () ->
+      Compile.compile env (List.assoc k exprs))
+  in
+  ignore (get "k1");                            (* miss *)
+  ignore (get "k1");                            (* hit *)
+  ignore (get "k2");                            (* miss *)
+  ignore (get "k3");                            (* miss; evicts k1's LRU peer *)
+  let hit, miss, evict = Plan_cache.stats cache in
+  Alcotest.(check (triple int int int)) "stats" (1, 3, 1) (hit, miss, evict);
+  Alcotest.(check int) "length" 2 (Plan_cache.length cache);
+  Alcotest.(check int) "capacity" 2 (Plan_cache.capacity cache);
+  (* k2 was touched more recently than k1, so k1 was the eviction victim:
+     re-fetching k2 hits, re-fetching k1 misses. *)
+  ignore (get "k2");
+  ignore (get "k1");
+  let hit, miss, _ = Plan_cache.stats cache in
+  Alcotest.(check (pair int int)) "lru order" (2, 4) (hit, miss)
+
+let test_cache_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Plan_cache.create: capacity must be positive")
+    (fun () ->
+      ignore (Plan_cache.create ~metrics:(Urm_obs.Metrics.create ()) ~capacity:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Cost-based join order and build side: with R at 100 rows and S at 2,
+   the greedy order starts from S and the hash join builds on it. *)
+
+let test_build_side () =
+  let cat = fixed_catalog () in
+  let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
+  let e = Algebra.Join (Pred.CmpCols (Pred.Eq, "r#c", "s#c"), r_, s_) in
+  let plan = Compile.compile env e in
+  let d = Plan.describe plan in
+  let idx sub =
+    let rec find k =
+      if k + String.length sub > String.length d then -1
+      else if String.sub d k (String.length sub) = sub then k
+      else find (k + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "builds on the smaller side" true
+    (idx "build=left" >= 0);
+  Alcotest.(check bool) "smaller relation drives" true
+    (idx "scan(S)" >= 0 && idx "scan(R)" >= 0 && idx "scan(S)" < idx "scan(R)");
+  (* The reordered plan still returns the interpreter's header and rows. *)
+  let interp = Eval.eval cat e in
+  let compiled = Plan.execute cat plan in
+  Alcotest.(check (list string)) "header" (Relation.cols interp)
+    (Relation.cols compiled);
+  Alcotest.(check bool) "rows" true (same_multiset interp compiled)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate semantics: nulls skipped by Avg, absorbed by Sum; strings
+   raise; ties keep the first row's value.  Both engines, same answers. *)
+
+let agg_catalog () =
+  let cat = Catalog.create () in
+  Catalog.add cat "A"
+    (Relation.create ~cols:[ "v"; "w" ]
+       [
+         [| i 1; s "b" |]; [| Value.Null; s "a" |]; [| i 2; Value.Null |];
+         [| i 1; s "a" |];
+       ]);
+  cat
+
+let both_engines cat e =
+  let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
+  let interp = Eval.eval cat e in
+  let compiled = Plan.execute cat (Compile.compile env e) in
+  Alcotest.(check bool)
+    ("engines agree on " ^ Algebra.to_string e)
+    true
+    (List.equal String.equal (Relation.cols interp) (Relation.cols compiled)
+    && same_multiset interp compiled);
+  interp
+
+let test_aggregate_semantics () =
+  let cat = agg_catalog () in
+  let got e = Relation.fold (fun _ row -> Some row.(0)) None (both_engines cat e) in
+  let check name e expect =
+    match got e with
+    | Some v ->
+      Alcotest.(check bool) name true (Value.approx_equal v expect)
+    | None -> Alcotest.fail (name ^ ": no row")
+  in
+  check "count counts nulls" (Algebra.Aggregate (Algebra.Count, Algebra.Base "A")) (i 4);
+  check "sum absorbs nulls" (Algebra.Aggregate (Algebra.Sum "v", Algebra.Base "A")) (i 4);
+  check "avg skips nulls" (Algebra.Aggregate (Algebra.Avg "v", Algebra.Base "A"))
+    (f (4. /. 3.));
+  check "min skips nulls" (Algebra.Aggregate (Algebra.Min "v", Algebra.Base "A")) (i 1);
+  check "max" (Algebra.Aggregate (Algebra.Max "v", Algebra.Base "A")) (i 2);
+  check "min over strings skips nulls"
+    (Algebra.Aggregate (Algebra.Min "w", Algebra.Base "A")) (s "a");
+  (* Sum over a string column raises identically on both engines. *)
+  let e = Algebra.Aggregate (Algebra.Sum "w", Algebra.Base "A") in
+  let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
+  let expect = Invalid_argument "Value.add: string operand" in
+  Alcotest.check_raises "interpreted sum over strings" expect (fun () ->
+      ignore (Eval.eval cat e));
+  Alcotest.check_raises "compiled sum over strings" expect (fun () ->
+      ignore (Plan.execute cat (Compile.compile env e)))
+
+(* ------------------------------------------------------------------ *)
+(* Ctx-level plan reuse: the same shape evaluated twice compiles once. *)
+
+let test_ctx_reuse () =
+  let ctx = Test_core.ctx () in
+  let e =
+    Algebra.Select (Pred.Cmp (Pred.Eq, "p#cname", s "Alice"),
+                    Algebra.Rename ("p", Algebra.Base "Customer"))
+  in
+  let a = Urm.Ctx.eval ctx e in
+  let b = Urm.Ctx.eval ctx e in
+  Alcotest.(check bool) "same answer" true (Relation.equal_contents a b);
+  let hit, miss, evict = Urm.Ctx.plan_stats ctx in
+  Alcotest.(check (triple int int int)) "one compile, one reuse" (1, 1, 0)
+    (hit, miss, evict)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_compiled_vs_interpreted;
+    QCheck_alcotest.to_alcotest qcheck_compiled_no_index;
+    Alcotest.test_case "plan cache hit/miss/evict accounting" `Quick
+      test_cache_accounting;
+    Alcotest.test_case "plan cache rejects non-positive capacity" `Quick
+      test_cache_bad_capacity;
+    Alcotest.test_case "hash join builds on the estimated-smaller side" `Quick
+      test_build_side;
+    Alcotest.test_case "aggregate null/string semantics match" `Quick
+      test_aggregate_semantics;
+    Alcotest.test_case "Ctx reuses one plan across evaluations" `Quick
+      test_ctx_reuse;
+  ]

@@ -153,7 +153,7 @@ let test_sql_evaluates () =
     Schema.make "S"
       [ ("Customer", [ ("cname", Schema.TStr); ("ophone", Schema.TStr); ("oaddr", Schema.TStr) ]) ]
   in
-  let ctx = Urm.Ctx.make ~catalog ~source ~target in
+  let ctx = Urm.Ctx.make ~catalog ~source ~target () in
   let m =
     Urm.Mapping.make ~id:0 ~prob:1. ~score:1.
       [ ("Person.phone", "Customer.ophone"); ("Person.addr", "Customer.oaddr") ]
