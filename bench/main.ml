@@ -17,6 +17,7 @@ let parse_args () =
   let quick = ref false in
   let skip_bechamel = ref false in
   let skip_tables = ref false in
+  let engine = ref None in
   let rec go = function
     | [] -> ()
     | "--only" :: v :: rest ->
@@ -31,14 +32,24 @@ let parse_args () =
     | "--skip-tables" :: rest ->
       skip_tables := true;
       go rest
+    | "--engine" :: v :: rest -> begin
+      match Urm_relalg.Compile.engine_of_string v with
+      | Ok e ->
+        engine := Some e;
+        go rest
+      | Error msg ->
+        Format.eprintf "%s@." msg;
+        exit 2
+    end
     | other :: _ ->
       Format.eprintf
-        "unknown argument %s (expected --only ids | --quick | --skip-bechamel | --skip-tables)@."
+        "unknown argument %s (expected --only ids | --quick | --engine name | \
+         --skip-bechamel | --skip-tables)@."
         other;
       exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!only, !quick, !skip_bechamel, !skip_tables)
+  (!only, !quick, !skip_bechamel, !skip_tables, !engine)
 
 let wanted only id =
   match only with None -> true | Some ids -> List.mem id ids
@@ -170,11 +181,14 @@ let run_par quick =
   Format.printf "@.wrote parallel sweep to %s@.@." parallel_file
 
 (* ------------------------------------------------------------------ *)
-(* Part 1c: the compiled-vs-interpreted engine sweep (id "eval").
+(* Part 1c: the engine sweep (id "eval").
 
-   Per algorithm × workload × h, runs the same query under both engines
-   and records wall time, the compiled context's plan-cache counters and
-   answer identity, written to BENCH_eval.json.  Two workloads:
+   Per algorithm × workload × h, runs the same query under every engine
+   (interpreted, compiled, vectorized — or interpreted plus the one named
+   by [--engine]) and records wall time, the plan-engine contexts'
+   plan-cache counters and answer identity against the interpreted
+   baseline, written to BENCH_eval.json.  Any mismatch makes the harness
+   exit non-zero.  Two workloads:
 
    - "replicated": the top-1 mapping duplicated h times (uniform 1/h
      probability).  Every mapping rewrites to the same query shape, so a
@@ -185,9 +199,21 @@ let run_par quick =
 
 let eval_file = "BENCH_eval.json"
 
-let run_eval quick =
+let run_eval quick engine_opt =
   let module E = Urm_workload.Experiments in
   let cfg = if quick then E.quick else E.default in
+  let engines =
+    match engine_opt with
+    | None ->
+      [
+        Urm_relalg.Compile.Interpreted;
+        Urm_relalg.Compile.Compiled;
+        Urm_relalg.Compile.Vectorized;
+      ]
+    | Some Urm_relalg.Compile.Interpreted -> [ Urm_relalg.Compile.Interpreted ]
+    | Some e -> [ Urm_relalg.Compile.Interpreted; e ]
+  in
+  let mismatch = ref false in
   let h_sweep = if quick then [ 8; 32 ] else [ 32; 100; 300 ] in
   let algorithms =
     [ Urm.Algorithms.Basic; Urm.Algorithms.Ebasic; Urm.Algorithms.Emqo ]
@@ -208,7 +234,9 @@ let run_eval quick =
       ("pipeline", fun h -> Urm_workload.Pipeline.mappings p target ~h);
     ]
   in
-  Format.printf "=== engine sweep (Q4, compiled vs interpreted) ===@.@.";
+  Format.printf "=== engine sweep (Q4, %s) ===@.@."
+    (String.concat " vs "
+       (List.map Urm_relalg.Compile.engine_name engines));
   let rows =
     List.concat_map
       (fun alg ->
@@ -236,6 +264,7 @@ let run_eval quick =
                         true
                       | Some b -> Urm.Answer.equal ~eps:Urm.Prob.eps b answer
                     in
+                    if not identical then mismatch := true;
                     let hit, miss, evict = Urm.Ctx.plan_stats ctx in
                     Format.printf
                       "  %-10s %-10s h=%-4d %-11s  %8.3fs  cache %d/%d%s@."
@@ -264,7 +293,7 @@ let run_eval quick =
                             ] );
                         ("identical_to_interpreted", Urm_util.Json.Bool identical);
                       ])
-                  [ Urm_relalg.Compile.Interpreted; Urm_relalg.Compile.Compiled ])
+                  engines)
               h_sweep)
           workloads)
       algorithms
@@ -286,7 +315,11 @@ let run_eval quick =
   output_string oc (Urm_util.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Format.printf "@.wrote engine sweep to %s@.@." eval_file
+  Format.printf "@.wrote engine sweep to %s@.@." eval_file;
+  if !mismatch then begin
+    Format.eprintf "engine sweep: answers diverged from the interpreted baseline@.";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one per table/figure. *)
@@ -385,8 +418,8 @@ let run_bechamel only =
   end
 
 let () =
-  let only, quick, skip_bechamel, skip_tables = parse_args () in
+  let only, quick, skip_bechamel, skip_tables, engine = parse_args () in
   if not skip_tables then run_tables only quick;
   if not skip_tables && wanted only "par" then run_par quick;
-  if not skip_tables && wanted only "eval" then run_eval quick;
+  if not skip_tables && wanted only "eval" then run_eval quick engine;
   if not skip_bechamel then run_bechamel only

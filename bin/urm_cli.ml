@@ -141,13 +141,13 @@ let engine_conv =
 
 let engine_t =
   let doc =
-    "Query-execution engine: 'compiled' (cost-based physical plans, compiled \
-     once per query shape and cached across mappings; the default) or \
-     'interpreted' (the tree-walking evaluator).  Both return identical \
-     answers."
+    "Query-execution engine: 'vectorized' (columnar batched execution over \
+     the compiled plans; the default), 'compiled' (the same cost-based \
+     physical plans, one boxed row at a time) or 'interpreted' (the \
+     tree-walking evaluator).  All three return identical answers."
   in
   Arg.(
-    value & opt engine_conv Urm_relalg.Compile.Compiled & info [ "engine" ] ~doc)
+    value & opt engine_conv Urm_relalg.Compile.Vectorized & info [ "engine" ] ~doc)
 
 (* Evaluate [alg] under a throwaway [jobs]-domain pool (sequentially when
    [jobs <= 1]; the pool dispatcher routes jobs = 1 back to the untouched

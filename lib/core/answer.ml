@@ -18,6 +18,21 @@ let add t tuple p =
   | Some r -> r := !r +. p
   | None -> Hashtbl.add t.rows tuple (ref p)
 
+(* Like [add], but returns the bucket's accumulator cell so a caller can
+   replay further [+. p] additions without re-deriving the tuple (the
+   vectorized engine's per-reformulation answer memo).  Cells stay valid
+   for the answer's lifetime — buckets are never removed. *)
+let add_ref t tuple p =
+  if Array.length tuple <> t.arity then invalid_arg "Answer.add: arity mismatch";
+  match Hashtbl.find_opt t.rows tuple with
+  | Some r ->
+    r := !r +. p;
+    r
+  | None ->
+    let r = ref p in
+    Hashtbl.add t.rows tuple r;
+    r
+
 let add_null t p = t.null_mass <- t.null_mass +. p
 let null_prob t = t.null_mass
 
@@ -60,32 +75,48 @@ let approx_tuple_equal ta tb =
   in
   go 0
 
-(* [prob_of] with a fallback approximate scan: float-valued aggregates
-   computed by differently-ordered summations land on slightly different
-   keys. *)
-let prob_of_approx t tuple =
-  match Hashtbl.find_opt t.rows tuple with
-  | Some r -> Some !r
-  | None ->
-    Hashtbl.fold
-      (fun other r acc ->
-        match acc with
-        | Some _ -> acc
-        | None -> if approx_tuple_equal tuple other then Some !r else None)
-      t.rows None
-
+(* Equality is a one-to-one matching of buckets: every tuple of [a] must
+   claim a distinct, not-yet-consumed bucket of [b] whose key matches
+   (exactly, else approximately — float-valued aggregates computed by
+   differently-ordered summations land on slightly different keys) with
+   probability within [eps].  Without consumption, two near-identical
+   float keys of [a] could both match one bucket of [b] and equal sizes
+   would still report equality on unequal answers (and the check was
+   asymmetric). *)
 let equal ?(eps = Prob.eps) a b =
   a.output = b.output
   && abs_float (a.null_mass -. b.null_mass) <= eps
   && Hashtbl.length a.rows = Hashtbl.length b.rows
-  && Hashtbl.fold
-       (fun tuple r ok ->
-         ok
-         &&
-         match prob_of_approx b tuple with
-         | Some q -> abs_float (q -. !r) <= eps
-         | None -> false)
-       a.rows true
+  &&
+  let consumed : (Value.t array, unit) Hashtbl.t =
+    Hashtbl.create (Hashtbl.length a.rows)
+  in
+  let claim tuple p =
+    let matches key r =
+      (not (Hashtbl.mem consumed key)) && abs_float (!r -. p) <= eps
+    in
+    match Hashtbl.find_opt b.rows tuple with
+    | Some r when matches tuple r ->
+      Hashtbl.add consumed tuple ();
+      true
+    | _ -> (
+      let found =
+        Hashtbl.fold
+          (fun key r acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              if approx_tuple_equal tuple key && matches key r then Some key
+              else None)
+          b.rows None
+      in
+      match found with
+      | Some key ->
+        Hashtbl.add consumed key ();
+        true
+      | None -> false)
+  in
+  Hashtbl.fold (fun tuple r ok -> ok && claim tuple !r) a.rows true
 
 (* Serialisation follows [to_list]'s deterministic ranking, so two answers
    with bit-identical probabilities render to byte-identical JSON — the

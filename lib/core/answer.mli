@@ -21,6 +21,12 @@ val add : t -> Urm_relalg.Value.t array -> float -> unit
 (** [add_null t p] accumulates probability onto θ. *)
 val add_null : t -> float -> unit
 
+(** [add_ref t tuple p] like {!add}, but returns the tuple's accumulator
+    cell so further probability can be replayed with [r := !r +. p'] —
+    the vectorized engine's per-reformulation answer memo.  Cells stay
+    valid for the answer's lifetime. *)
+val add_ref : t -> Urm_relalg.Value.t array -> float -> float ref
+
 (** [merge_into t other] sums [other]'s tuple probabilities and θ mass into
     [t].  Merging partial answers built over disjoint contiguous mapping
     ranges in ascending range order reproduces the sequential accumulation
@@ -48,8 +54,11 @@ val total_prob : t -> float
     absent). *)
 val prob_of : t -> Urm_relalg.Value.t array -> float
 
-(** [equal ?eps a b] same outputs, same θ mass and same tuple
-    probabilities within [eps] (default {!Prob.eps}). *)
+(** [equal ?eps a b] same outputs, same θ mass, and a one-to-one matching
+    of [a]'s tuples onto [b]'s buckets (exact keys first, then approximate
+    — float aggregate keys may differ across summation orders) with
+    probabilities within [eps] (default {!Prob.eps}).  Each bucket of [b]
+    is consumed by at most one tuple of [a], so the check is symmetric. *)
 val equal : ?eps:float -> t -> t -> bool
 
 (** [{"output": […], "answers": [{"tuple": […], "prob": p}, …],

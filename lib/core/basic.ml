@@ -14,12 +14,39 @@ let timed sw f =
 
 (* One mapping's rewrite→evaluate→aggregate step, shared by the sequential
    loop (which attributes the phases to stopwatches) and the parallel
-   driver (which times whole chunks instead and passes no stopwatches). *)
-let eval_mapping ?rewrite_sw ?evaluate_sw ?aggregate_sw ~ctrs (ctx : Ctx.t) q acc
-    m =
+   driver (which times whole chunks instead and passes no stopwatches).
+
+   [memo] (vectorized engine only) caches, per accumulation run, the
+   answer-bucket cells each distinct reformulation key touched: mappings
+   sharing a key produce identical target tuples, so later mappings replay
+   the recorded cells with their own probability instead of re-executing
+   the plan — same buckets, same per-bucket addition order, bit-identical
+   to evaluating every mapping (see {!Reformulate.replay_answers_into}). *)
+let eval_mapping ?rewrite_sw ?evaluate_sw ?aggregate_sw ?memo ~ctrs (ctx : Ctx.t)
+    q acc m =
   let sq = timed rewrite_sw (fun () -> Reformulate.source_query ctx.target q m) in
   let p = m.Mapping.prob in
   match sq.Reformulate.body with
+  | Reformulate.Expr e when Ctx.engine ctx = Urm_relalg.Compile.Vectorized ->
+    (* The vectorized engine fuses evaluate and aggregate over batches:
+       plan batches stream straight into the accumulator.  Charged to the
+       evaluate phase like the compiled fused path below. *)
+    let factor =
+      timed aggregate_sw (fun () -> Reformulate.factor ctx.catalog sq)
+    in
+    timed evaluate_sw (fun () ->
+        match memo with
+        | None ->
+          Reformulate.stream_batch_answers_into acc sq ~factor
+            (Ctx.eval_batches ~ctrs ctx e) p
+        | Some tbl -> (
+          let key = Reformulate.key sq in
+          match Hashtbl.find_opt tbl key with
+          | Some r -> Reformulate.replay_answers_into acc r p
+          | None ->
+            Hashtbl.add tbl key
+              (Reformulate.record_batch_answers_into acc sq ~factor
+                 (Ctx.eval_batches ~ctrs ctx e) p)))
   | Reformulate.Expr e when Ctx.engine ctx = Urm_relalg.Compile.Compiled ->
     (* The compiled engine fuses evaluate and aggregate: plan rows stream
        straight into the accumulator, never materialising the per-mapping
@@ -45,8 +72,15 @@ let eval_mapping ?rewrite_sw ?evaluate_sw ?aggregate_sw ~ctrs (ctx : Ctx.t) q ac
         | Some r -> Reformulate.answers_into acc sq ~factor r p
         | None -> Reformulate.null_answer_into acc sq ~factor p)
 
+(* One memo per accumulation run: recorded cells point into the run's
+   accumulator, so the table must never outlive [acc]. *)
+let memo_for ctx =
+  if Ctx.engine ctx = Urm_relalg.Compile.Vectorized then Some (Hashtbl.create 16)
+  else None
+
 let accumulate ~ctrs ctx q acc ms =
-  List.iter (eval_mapping ~ctrs ctx q acc) ms
+  let memo = memo_for ctx in
+  List.iter (eval_mapping ?memo ~ctrs ctx q acc) ms
 
 let run_scoped ~metrics (ctx : Ctx.t) q ms =
   let ctrs = Eval.fresh_counters ~metrics () in
@@ -54,9 +88,10 @@ let run_scoped ~metrics (ctx : Ctx.t) q ms =
   let sw_evaluate = Urm_util.Timer.Stopwatch.create () in
   let sw_aggregate = Urm_util.Timer.Stopwatch.create () in
   let acc = Answer.create (Reformulate.output_header q) in
+  let memo = memo_for ctx in
   List.iter
     (eval_mapping ~rewrite_sw:sw_rewrite ~evaluate_sw:sw_evaluate
-       ~aggregate_sw:sw_aggregate ~ctrs ctx q acc)
+       ~aggregate_sw:sw_aggregate ?memo ~ctrs ctx q acc)
     ms;
   {
     Report.answer = acc;

@@ -7,7 +7,7 @@ type t = {
   plans : Urm_relalg.Plan_cache.t;
 }
 
-let make ?(engine = Urm_relalg.Compile.Compiled) ~catalog ~source ~target () =
+let make ?(engine = Urm_relalg.Compile.Vectorized) ~catalog ~source ~target () =
   {
     catalog;
     source;
@@ -33,6 +33,8 @@ let eval ?ctrs t e =
   | Urm_relalg.Compile.Interpreted -> Urm_relalg.Eval.eval ?ctrs t.catalog e
   | Urm_relalg.Compile.Compiled ->
     Urm_relalg.Plan.execute ?ctrs t.catalog (plan_of t e)
+  | Urm_relalg.Compile.Vectorized ->
+    Urm_relalg.Plan.execute_batches ?ctrs t.catalog (plan_of t e)
 
 (* [eval_stream ?ctrs t e] the result header plus a driver that streams
    the result rows: compiled plans push rows straight out of the pipeline
@@ -43,10 +45,31 @@ let eval_stream ?ctrs t e =
   | Urm_relalg.Compile.Interpreted ->
     let r = Urm_relalg.Eval.eval ?ctrs t.catalog e in
     (Urm_relalg.Relation.cols r, fun f -> Urm_relalg.Relation.iter f r)
-  | Urm_relalg.Compile.Compiled ->
+  | Urm_relalg.Compile.Compiled | Urm_relalg.Compile.Vectorized ->
     let plan = plan_of t e in
     ( Urm_relalg.Plan.header plan,
       fun f -> Urm_relalg.Plan.iter_rows ?ctrs t.catalog plan ~f )
+
+(* [eval_batches ?ctrs t e] like [eval_stream] but over {!Column.batch}es:
+   compiled plans stream their batch pipeline (the vectorized fused path);
+   the interpreted engine evaluates eagerly and replays the relation's
+   memoised columns chunk-wise. *)
+let eval_batches ?ctrs t e =
+  match t.engine with
+  | Urm_relalg.Compile.Compiled | Urm_relalg.Compile.Vectorized ->
+    let plan = plan_of t e in
+    ( Urm_relalg.Plan.header plan,
+      fun f -> Urm_relalg.Plan.iter_batches ?ctrs t.catalog plan ~f )
+  | Urm_relalg.Compile.Interpreted ->
+    let r = Urm_relalg.Eval.eval ?ctrs t.catalog e in
+    ( Urm_relalg.Relation.cols r,
+      fun f ->
+        let n = Urm_relalg.Relation.cardinality r in
+        if n > 0 then begin
+          let vecs = Urm_relalg.Relation.columns r in
+          Urm_relalg.Column.iter_chunks n ~f:(fun sel len ->
+              f { Urm_relalg.Column.vecs; sel; n = len })
+        end )
 
 (* Emptiness without materialising: products short-circuit structurally
    (same shapes as the interpreter's [nonempty]); everything else asks the
@@ -54,7 +77,7 @@ let eval_stream ?ctrs t e =
 let rec nonempty ?ctrs t e =
   match t.engine with
   | Urm_relalg.Compile.Interpreted -> Urm_relalg.Eval.nonempty ?ctrs t.catalog e
-  | Urm_relalg.Compile.Compiled -> (
+  | Urm_relalg.Compile.Compiled | Urm_relalg.Compile.Vectorized -> (
     match e with
     | Urm_relalg.Algebra.Product (a, b) -> nonempty ?ctrs t a && nonempty ?ctrs t b
     | Urm_relalg.Algebra.Rename (_, inner) -> nonempty ?ctrs t inner

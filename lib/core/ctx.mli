@@ -4,9 +4,11 @@
     The context owns a {!Urm_relalg.Compile.env} (per-catalog statistics +
     compile counters) and a {!Urm_relalg.Plan_cache.t}, so every algorithm
     that evaluates through {!eval} compiles each distinct query shape once
-    and executes it per mapping.  The engine defaults to [Compiled]; pass
-    [~engine:Interpreted] (CLI: [--engine interpreted]) for the
-    tree-walking evaluator. *)
+    and executes it per mapping.  The engine defaults to [Vectorized]
+    (batched execution over typed column vectors); pass [~engine:Compiled]
+    for the row-at-a-time plan pipeline or [~engine:Interpreted]
+    (CLI: [--engine interpreted]) for the tree-walking evaluator.  All
+    three produce bit-identical answers. *)
 
 type t = {
   catalog : Urm_relalg.Catalog.t;  (** the source instance D *)
@@ -45,6 +47,16 @@ val eval_stream :
   t ->
   Urm_relalg.Algebra.t ->
   string list * ((Urm_relalg.Value.t array -> unit) -> unit)
+
+(** [eval_batches ?ctrs t e] = [(header, drive)] like {!eval_stream} but
+    streaming {!Urm_relalg.Column.batch}es — the vectorized fused
+    evaluate-and-accumulate path.  Same rows in the same order as
+    {!eval_stream}; batches are only valid during the callback. *)
+val eval_batches :
+  ?ctrs:Urm_relalg.Eval.counters ->
+  t ->
+  Urm_relalg.Algebra.t ->
+  string list * ((Urm_relalg.Column.batch -> unit) -> unit)
 
 (** Emptiness test; products short-circuit without materialising either
     side on both engines. *)

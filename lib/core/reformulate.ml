@@ -300,6 +300,123 @@ let stream_answers_into acc sq ~factor (header, drive) p =
             p);
     if not !any then Answer.add_null acc p
 
+(* The vectorized fused accumulate: [bdrive] pushes the result of [sq]'s
+   expression as {!Column.batch}es (header [header], see
+   [Urm.Ctx.eval_batches]); column getters specialise once per batch, and
+   every target tuple flows through [emit] ([emit_null] for θ).  Emits
+   exactly the tuples {!stream_answers_into} emits, in the same order —
+   the batch stream preserves row order — so accumulated probabilities
+   stay bit-identical across engines. *)
+let fold_batches_into ~emit ~emit_null sq ~factor (header, bdrive) =
+  let pos c =
+    let rec go i = function
+      | [] -> raise Not_found
+      | x :: _ when String.equal x c -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 header
+  in
+  let idxs () =
+    Array.of_list (List.map (fun (_, c) -> Option.map pos c) sq.outputs)
+  in
+  match (sq.aggregate, sq.grouped) with
+  | Some _, false -> (
+    (* Scalar aggregate: the expression yields exactly one row. *)
+    let seen = ref None in
+    bdrive (fun b ->
+        if b.Column.n > 0 then seen := Some (Column.row b (b.Column.n - 1)));
+    match (!seen, sq.outputs) with
+    | Some row, [ (_, Some col) ] -> emit [| scale_value factor row.(pos col) |]
+    | None, _ -> emit_null ()
+    | _ -> invalid_arg "Reformulate: bad aggregate outputs")
+  | Some _, true ->
+    let idxs = idxs () in
+    let n = Array.length idxs in
+    let any = ref false in
+    bdrive (fun b ->
+        let getters =
+          Array.map (Option.map (fun i -> Column.getter b.Column.vecs.(i))) idxs
+        in
+        for k = 0 to b.Column.n - 1 do
+          any := true;
+          let i = b.Column.sel.(k) in
+          emit
+            (Array.init n (fun j ->
+                 let v =
+                   match getters.(j) with Some get -> get i | None -> Value.Null
+                 in
+                 if j = n - 1 then scale_value factor v else v))
+        done);
+    if not !any then emit_null ()
+  | None, _ ->
+    let idxs = idxs () in
+    let n = Array.length idxs in
+    let any = ref false in
+    let identity =
+      n = List.length header
+      &&
+      let rec go i = i >= n || (idxs.(i) = Some i && go (i + 1)) in
+      go 0
+    in
+    if identity then
+      bdrive (fun b ->
+          for k = 0 to b.Column.n - 1 do
+            any := true;
+            emit (Column.row b k)
+          done)
+    else if Array.for_all (( = ) None) idxs then begin
+      bdrive (fun b -> if b.Column.n > 0 then any := true);
+      if !any then emit (Array.make n Value.Null)
+    end
+    else
+      bdrive (fun b ->
+          let getters =
+            Array.map (Option.map (fun i -> Column.getter b.Column.vecs.(i))) idxs
+          in
+          for k = 0 to b.Column.n - 1 do
+            any := true;
+            let i = b.Column.sel.(k) in
+            emit
+              (Array.map
+                 (function Some get -> get i | None -> Value.Null)
+                 getters)
+          done);
+    if not !any then emit_null ()
+
+let stream_batch_answers_into acc sq ~factor stream p =
+  fold_batches_into sq ~factor stream
+    ~emit:(fun tuple -> Answer.add acc tuple p)
+    ~emit_null:(fun () -> Answer.add_null acc p)
+
+(* A recorded accumulation: the answer-bucket cells one evaluation of a
+   reformulation touched, in emission order.  Mappings sharing a {!key}
+   produce identical target tuples, so a later mapping replays the cells
+   with its own probability instead of re-evaluating — same buckets, same
+   per-bucket addition order, hence bit-identical to a fresh evaluation. *)
+type replay = { cells : float ref array; null : bool }
+
+let record_batch_answers_into acc sq ~factor stream p =
+  let cells = ref [] and count = ref 0 and null = ref false in
+  fold_batches_into sq ~factor stream
+    ~emit:(fun tuple ->
+      cells := Answer.add_ref acc tuple p :: !cells;
+      incr count)
+    ~emit_null:(fun () ->
+      null := true;
+      Answer.add_null acc p);
+  let arr = Array.make !count (ref 0.) in
+  let i = ref !count in
+  List.iter
+    (fun c ->
+      decr i;
+      arr.(!i) <- c)
+    !cells;
+  { cells = arr; null = !null }
+
+let replay_answers_into acc r p =
+  Array.iter (fun c -> c := !c +. p) r.cells;
+  if r.null then Answer.add_null acc p
+
 let result_tuples sq ~factor rel =
   match (rel, sq.aggregate) with
   | Some rel, Some _ when sq.grouped ->

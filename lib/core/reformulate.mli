@@ -74,6 +74,40 @@ val stream_answers_into :
   float ->
   unit
 
+(** [stream_batch_answers_into acc sq ~factor (header, bdrive) p] the
+    vectorized form of {!stream_answers_into}: [bdrive f] must invoke [f]
+    once per result batch (see [Urm.Ctx.eval_batches]).  Emits the same
+    tuples in the same order as the row form, so accumulated probabilities
+    are bit-identical across engines. *)
+val stream_batch_answers_into :
+  Answer.t ->
+  t ->
+  factor:int ->
+  string list * ((Urm_relalg.Column.batch -> unit) -> unit) ->
+  float ->
+  unit
+
+(** A recorded accumulation (see {!record_batch_answers_into}). *)
+type replay
+
+(** [record_batch_answers_into acc sq ~factor stream p] accumulates like
+    {!stream_batch_answers_into} and records the touched answer-bucket
+    cells.  Mappings with equal {!key}s produce identical target tuples,
+    so the recording stands in for re-evaluating the shared shape. *)
+val record_batch_answers_into :
+  Answer.t ->
+  t ->
+  factor:int ->
+  string list * ((Urm_relalg.Column.batch -> unit) -> unit) ->
+  float ->
+  replay
+
+(** [replay_answers_into acc r p] re-applies a recording with probability
+    [p]: the same buckets receive the same additions, in the same order, as
+    a fresh evaluation would produce — bit-identical, without evaluating.
+    [acc] must be the answer [r] was recorded against. *)
+val replay_answers_into : Answer.t -> replay -> float -> unit
+
 (** [null_answer_into acc sq ~factor p] the contribution of a mapping whose
     body is [Unsatisfiable] or [Trivial]: θ for plain queries; COUNT = 0
     (unsatisfiable) or COUNT = factor (trivial); SUM = Null. *)

@@ -1,0 +1,57 @@
+(** Typed column vectors and row batches — the data plane of the vectorized
+    engine.
+
+    Stored relations columnise lazily ({!Relation.columns}) into the
+    tightest representation that preserves [Value.t] identity exactly:
+    unboxed ints/floats with an optional null mask, dictionary-interned
+    strings, or a boxed fallback for mixed-type columns.  A {!batch} is a
+    slice of up to {!batch_size} rows over shared vectors plus a selection
+    vector of {e absolute} row indices — filters narrow the selection and
+    projections remap the vector array, neither copying column data. *)
+
+type vec =
+  | VInt of int array * Bytes.t option
+      (** values + null mask ([None] = no nulls); a set byte marks Null *)
+  | VFloat of float array * Bytes.t option
+  | VStr of int array * string array
+      (** per-row dictionary ids ([-1] = Null) + the dictionary *)
+  | VVal of Value.t array  (** boxed fallback for mixed-type columns *)
+  | VConst of Value.t  (** every row holds the same value (broadcast) *)
+
+type batch = {
+  vecs : vec array;
+  sel : int array;
+      (** absolute row indices into each vec; only [sel.(0..n-1)] is live *)
+  n : int;
+}
+
+val batch_size : int
+
+(** [null_at mask i] — true when the mask marks row [i] null. *)
+val null_at : Bytes.t -> int -> bool
+
+(** [get v i] the value of absolute row [i]. *)
+val get : vec -> int -> Value.t
+
+(** [getter v] specialises {!get} once per vector for tight loops. *)
+val getter : vec -> int -> Value.t
+
+(** [row b k] materialises the [k]-th {e selected} row as a fresh array. *)
+val row : batch -> int -> Value.t array
+
+(** [of_rows ~arity rows] columnises a row store, one tightest-fit vector
+    per column. *)
+val of_rows : arity:int -> Value.t array array -> vec array
+
+(** [batch_of_rows rows n] transposes [rows.(0..n-1)] into an all-boxed
+    batch with an identity selection (the rows are copied out, so the
+    caller may reuse the buffer). *)
+val batch_of_rows : Value.t array array -> int -> batch
+
+(** [batching_sink bsink] = [(push, flush)]: [push] buffers rows and emits
+    a batch every {!batch_size}; [flush] emits the remainder. *)
+val batching_sink : (batch -> unit) -> (Value.t array -> unit) * (unit -> unit)
+
+(** [iter_chunks n ~f] covers [0, n) with consecutive identity selections
+    of at most {!batch_size} rows: [f sel len]. *)
+val iter_chunks : int -> f:(int array -> int -> unit) -> unit

@@ -19,14 +19,20 @@
    Compilation cost is paid once per plan shape; {!Plan_cache} amortises it
    across the h reformulated queries of a mapping distribution. *)
 
-type engine = Interpreted | Compiled
+type engine = Interpreted | Compiled | Vectorized
 
-let engine_name = function Interpreted -> "interpreted" | Compiled -> "compiled"
+let engine_name = function
+  | Interpreted -> "interpreted"
+  | Compiled -> "compiled"
+  | Vectorized -> "vectorized"
 
 let engine_of_string = function
   | "interpreted" -> Ok Interpreted
   | "compiled" -> Ok Compiled
-  | s -> Error (Printf.sprintf "unknown engine %S (expected interpreted|compiled)" s)
+  | "vectorized" -> Ok Vectorized
+  | s ->
+    Error
+      (Printf.sprintf "unknown engine %S (expected interpreted|compiled|vectorized)" s)
 
 type env = {
   cat : Catalog.t;
@@ -148,10 +154,99 @@ let compile_pred pos p =
   in
   build p
 
+(* Batch form of [compile_pred]: given a batch, specialise the predicate
+   against the concrete vector representations and return a test over
+   absolute row indices.  Typed vectors compare unboxed (int/float/interned
+   string); constants of a different payload type reduce to the constant
+   rank comparison of [Value.compare] (the payload is irrelevant across
+   ranks, so a same-rank witness like [Value.Int 0] stands in); the boxed
+   fallback matches the row engine verbatim. *)
+let compile_bpred pos p =
+  let open Column in
+  let rec build = function
+    | Pred.True -> fun _ _ -> true
+    | Pred.Cmp (cmp, col, v) ->
+      let i = pos col in
+      let null_r = test cmp (Value.compare Value.Null v) in
+      fun b ->
+        (match b.vecs.(i) with
+        | VInt (a, mask) -> (
+          match v with
+          | Value.Int c -> (
+            match mask with
+            | None -> fun j -> test cmp (Int.compare a.(j) c)
+            | Some m ->
+              fun j ->
+                if null_at m j then null_r else test cmp (Int.compare a.(j) c))
+          | _ ->
+            let r = test cmp (Value.compare (Value.Int 0) v) in
+            (match mask with
+            | None -> fun _ -> r
+            | Some m -> fun j -> if null_at m j then null_r else r))
+        | VFloat (a, mask) -> (
+          match v with
+          | Value.Float c -> (
+            match mask with
+            | None -> fun j -> test cmp (Float.compare a.(j) c)
+            | Some m ->
+              fun j ->
+                if null_at m j then null_r else test cmp (Float.compare a.(j) c))
+          | _ ->
+            let r = test cmp (Value.compare (Value.Float 0.) v) in
+            (match mask with
+            | None -> fun _ -> r
+            | Some m -> fun j -> if null_at m j then null_r else r))
+        | VStr (ids, dict) -> (
+          match v with
+          | Value.Str s ->
+            (* Pre-decide the answer per dictionary entry. *)
+            let ok = Array.map (fun d -> test cmp (String.compare d s)) dict in
+            fun j ->
+              let id = ids.(j) in
+              if id < 0 then null_r else ok.(id)
+          | _ ->
+            let r = test cmp (Value.compare (Value.Str "") v) in
+            fun j -> if ids.(j) < 0 then null_r else r)
+        | VVal a -> fun j -> test cmp (Value.compare a.(j) v)
+        | VConst c ->
+          let r = test cmp (Value.compare c v) in
+          fun _ -> r)
+    | Pred.CmpCols (cmp, x, y) ->
+      let ix = pos x and iy = pos y in
+      fun b ->
+        (match (b.vecs.(ix), b.vecs.(iy)) with
+        | VInt (a, None), VInt (c, None) ->
+          fun j -> test cmp (Int.compare a.(j) c.(j))
+        | VFloat (a, None), VFloat (c, None) ->
+          fun j -> test cmp (Float.compare a.(j) c.(j))
+        | va, vb ->
+          let ga = Column.getter va and gb = Column.getter vb in
+          fun j -> test cmp (Value.compare (ga j) (gb j)))
+    | Pred.And (a, b) ->
+      let fa = build a and fb = build b in
+      fun bt ->
+        let ta = fa bt and tb = fb bt in
+        fun j -> ta j && tb j
+    | Pred.Or (a, b) ->
+      let fa = build a and fb = build b in
+      fun bt ->
+        let ta = fa bt and tb = fb bt in
+        fun j -> ta j || tb j
+    | Pred.Not a ->
+      let fa = build a in
+      fun bt ->
+        let ta = fa bt in
+        fun j -> not (ta j)
+  in
+  build p
+
 let filter_conjs conjs pipe =
   match conjs with
   | [] -> pipe
-  | _ -> Plan.filter ~pred:(compile_pred (positions pipe.Plan.cols) (Pred.conj conjs)) pipe
+  | _ ->
+    let pos = positions pipe.Plan.cols in
+    let p = Pred.conj conjs in
+    Plan.filter ~pred:(compile_pred pos p) ~bpred:(compile_bpred pos p) pipe
 
 let project_to cs pipe =
   if pipe.Plan.cols = cs then pipe

@@ -8,12 +8,17 @@
     single-pass aggregates/group-by.  See DESIGN.md "Compiled execution &
     plan cache". *)
 
-(** The execution-engine knob carried by [Urm.Ctx]. *)
-type engine = Interpreted | Compiled
+(** The execution-engine knob carried by [Urm.Ctx].  [Interpreted] is the
+    tree-walking evaluator; [Compiled] executes plans one boxed row at a
+    time; [Vectorized] (the default) executes the same plans through
+    {!Column.batch}es — typed vectors and selection vectors — producing
+    bit-identical results. *)
+type engine = Interpreted | Compiled | Vectorized
 
 val engine_name : engine -> string
 
-(** Parses ["interpreted"] / ["compiled"] (the CLI's [--engine] values). *)
+(** Parses ["interpreted"] / ["compiled"] / ["vectorized"] (the CLI's
+    [--engine] values). *)
 val engine_of_string : string -> (engine, string) result
 
 (** A compilation environment: one per catalog.  Caches the column

@@ -108,7 +108,9 @@ let parse_rows text =
       incr pos
     end
   done;
-  if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  (* A quoted field pending at EOF counts even when its text is empty
+     ([""] with no trailing newline is a one-field row). *)
+  if Buffer.length buf > 0 || !quoted_field || !fields <> [] then flush_row ();
   List.rev !rows
 
 let infer_value (text, quoted) =

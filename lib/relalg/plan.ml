@@ -1,13 +1,26 @@
 (* Physical query plans.
 
    A plan is a tree of push-based closures compiled once by {!Compile} and
-   executed many times: every operator streams rows into a consumer closure
-   over pre-resolved integer column positions, so selections and projections
-   fused into their producer never materialise an intermediate relation or
-   touch a column-name hashtable.  Pipeline breakers (hash-join builds,
-   nested-loop inner sides, distinct, group-by) buffer rows in structures
-   local to one execution — a compiled plan itself is immutable, so several
-   domains may execute the same plan concurrently.
+   executed many times.  Every operator carries two equivalent streams over
+   pre-resolved integer column positions:
+
+   - [iter] pushes one boxed row at a time into a consumer closure (the
+     [Compiled] engine);
+   - [biter] pushes {!Column.batch}es — shared typed column vectors plus a
+     selection vector — so selections narrow the selection in a tight loop
+     over unboxed data and projections remap the vector array, neither
+     copying rows (the [Vectorized] engine).
+
+   Both streams produce the same rows in the same order, so float
+   accumulations downstream (answer probabilities, SUM/AVG) are
+   bit-identical across engines — the property the differential suites
+   assert.  Operators without a profitable batch form derive [biter] from
+   the row stream through {!Column.batching_sink}.
+
+   Pipeline breakers (hash-join builds, nested-loop inner sides, distinct,
+   group-by) buffer rows in structures local to one execution — a compiled
+   plan itself is immutable, so several domains may execute the same plan
+   concurrently.
 
    Base relations are parameters: a pipe resolves [Base] leaves through the
    catalog at execution time, which keeps plans valid across executions and
@@ -17,10 +30,12 @@
 type env = { cat : Catalog.t; ctrs : Eval.counters option }
 
 type sink = Value.t array -> unit
+type bsink = Column.batch -> unit
 
 type pipe = {
   cols : string list;
   iter : env -> sink -> unit;
+  biter : env -> bsink -> unit;
   stored : (env -> Relation.t) option;
       (* When the pipe's rows are exactly a stored relation's rows (modulo
          header names), expose it so consumers can borrow the row array
@@ -31,18 +46,41 @@ type pipe = {
 
 exception Found_row
 
-(* Smart constructor: wraps the operator's iteration with per-execution
-   row accounting (skipped entirely when no counters are attached) and
-   derives a short-circuiting emptiness check unless one is supplied. *)
-let make ?stored ?check ~kind ~cols ~desc iter =
+(* Smart constructor: wraps both streams with per-execution row accounting
+   (skipped entirely when no counters are attached) and derives the batch
+   stream and a short-circuiting emptiness check unless supplied.  The
+   derived check runs with accounting suppressed: an emptiness probe
+   executes no complete operator, so it must leave both the operator and
+   the access-path counters untouched. *)
+let make ?stored ?check ?biter ~kind ~cols ~desc iter =
+  let raw_iter = iter in
+  let raw_biter =
+    match biter with
+    | Some b -> b
+    | None ->
+      fun env bsink ->
+        let push, flush = Column.batching_sink bsink in
+        raw_iter env push;
+        flush ()
+  in
   let iter env sink =
     match env.ctrs with
-    | None -> iter env sink
+    | None -> raw_iter env sink
     | Some _ ->
       let n = ref 0 in
-      iter env (fun row ->
+      raw_iter env (fun row ->
           incr n;
           sink row);
+      Eval.record_op env.ctrs kind ~rows:!n
+  in
+  let biter env bsink =
+    match env.ctrs with
+    | None -> raw_biter env bsink
+    | Some _ ->
+      let n = ref 0 in
+      raw_biter env (fun b ->
+          n := !n + b.Column.n;
+          bsink b);
       Eval.record_op env.ctrs kind ~rows:!n
   in
   let check =
@@ -50,18 +88,30 @@ let make ?stored ?check ~kind ~cols ~desc iter =
     | Some c -> c
     | None -> (
       fun env ->
+        let env = { env with ctrs = None } in
         try
-          iter env (fun _ -> raise Found_row);
+          raw_iter env (fun _ -> raise Found_row);
           false
         with Found_row -> true)
   in
-  { cols; iter; stored; check; desc }
+  { cols; iter; biter; stored; check; desc }
 
 let iter_stored rel env sink =
   let rows = (rel env).Relation.rows in
   for i = 0 to Array.length rows - 1 do
     sink rows.(i)
   done
+
+(* Stored relations stream columnar without transposing: chunked identity
+   selections over the relation's memoised typed vectors. *)
+let biter_stored rel env bsink =
+  let r = rel env in
+  let n = Relation.cardinality r in
+  if n > 0 then begin
+    let vecs = Relation.columns r in
+    Column.iter_chunks n ~f:(fun sel len ->
+        bsink { Column.vecs; sel; n = len })
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Leaves. *)
@@ -71,6 +121,7 @@ let scan ~name ~cols =
   {
     cols;
     iter = iter_stored rel;
+    biter = biter_stored rel;
     stored = Some rel;
     check = (fun env -> not (Relation.is_empty (rel env)));
     desc = Printf.sprintf "scan(%s)" name;
@@ -80,6 +131,7 @@ let const r =
   {
     cols = Relation.cols r;
     iter = iter_stored (fun _ -> r);
+    biter = biter_stored (fun _ -> r);
     stored = Some (fun _ -> r);
     check = (fun _ -> not (Relation.is_empty r));
     desc = Printf.sprintf "mat(R%d)" r.Relation.id;
@@ -101,8 +153,31 @@ let index_probe ~name ~col ~value ~cols =
 (* ------------------------------------------------------------------ *)
 (* Streaming (fused) operators. *)
 
-let filter ~pred inner =
+(* Fallback batch predicate: evaluate the row predicate over materialised
+   rows.  [Compile] passes a typed [bpred] built against the concrete
+   vector representations wherever it can. *)
+let bpred_of_pred pred b =
+  let g = Column.getter in
+  let getters = Array.map g b.Column.vecs in
+  fun i -> pred (Array.map (fun get -> get i) getters)
+
+let filter ?bpred ~pred inner =
+  let bpred = match bpred with Some b -> b | None -> bpred_of_pred pred in
   make ~kind:Eval.Op_select ~cols:inner.cols ~desc:("σ(" ^ inner.desc ^ ")")
+    ~biter:(fun env bsink ->
+      Eval.record_access env.ctrs Eval.Scan;
+      inner.biter env (fun b ->
+          let live = bpred b in
+          let out = Array.make b.Column.n 0 in
+          let m = ref 0 in
+          for k = 0 to b.Column.n - 1 do
+            let i = b.Column.sel.(k) in
+            if live i then begin
+              out.(!m) <- i;
+              incr m
+            end
+          done;
+          if !m > 0 then bsink { b with Column.sel = out; n = !m }))
     (fun env sink ->
       Eval.record_access env.ctrs Eval.Scan;
       inner.iter env (fun row -> if pred row then sink row))
@@ -112,6 +187,12 @@ let project ~positions ~cols inner =
     ~check:inner.check
     ~desc:
       (Printf.sprintf "π[%s](%s)" (String.concat "," cols) inner.desc)
+    ~biter:(fun env bsink ->
+      inner.biter env (fun b ->
+          bsink
+            { b with
+              Column.vecs = Array.map (fun i -> b.Column.vecs.(i)) positions
+            }))
     (fun env sink ->
       inner.iter env (fun row -> sink (Array.map (fun i -> row.(i)) positions)))
 
@@ -121,6 +202,18 @@ let with_cols cols inner = { inner with cols }
 let distinct inner =
   make ~kind:Eval.Op_distinct ~cols:inner.cols ~check:inner.check
     ~desc:("δ(" ^ inner.desc ^ ")")
+    ~biter:(fun env bsink ->
+      let seen : (Value.t array, unit) Hashtbl.t = Hashtbl.create 64 in
+      let push, flush = Column.batching_sink bsink in
+      inner.biter env (fun b ->
+          for k = 0 to b.Column.n - 1 do
+            let row = Column.row b k in
+            if not (Hashtbl.mem seen row) then begin
+              Hashtbl.replace seen row ();
+              push row
+            end
+          done);
+      flush ())
     (fun env sink ->
       let seen : (Value.t array, unit) Hashtbl.t = Hashtbl.create 64 in
       inner.iter env (fun row ->
@@ -145,32 +238,68 @@ let hash_join ~build_left ~lkey ~rkey ~residual left right =
      memoised across executions of the shared plan — in effect a per-plan
      join index, built on the first execution and probed by the rest.  The
      [Atomic] publishes the fully-built table; a concurrent first execution
-     may build twice, and the last store wins (both tables are identical). *)
+     may build twice, and the last store wins (both tables are identical).
+     Both engines share it. *)
   let memo : (Catalog.t * (Value.t, Value.t array list) Hashtbl.t) option
              Atomic.t =
     Atomic.make None
   in
-  make ~kind:Eval.Op_join ~cols ~desc (fun env sink ->
+  let table_for env =
+    match Atomic.get memo with
+    | Some (cat, table) when cat == env.cat -> table
+    | _ ->
+      let table : (Value.t, Value.t array list) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let side, key = if build_left then (left, lkey) else (right, rkey) in
+      side.iter env (fun row ->
+          let k = row.(key) in
+          let prev = try Hashtbl.find table k with Not_found -> [] in
+          Hashtbl.replace table k (row :: prev));
+      Atomic.set memo (Some (env.cat, table));
+      table
+  in
+  make ~kind:Eval.Op_join ~cols ~desc
+    ~biter:(fun env bsink ->
+      let table = table_for env in
+      let push, flush = Column.batching_sink bsink in
+      let emit =
+        match residual with
+        | None -> push
+        | Some p -> fun row -> if p row then push row
+      in
+      (* Probe the other side batch-wise: the key getter specialises per
+         batch, matches replay in the row engine's (reversed-build) order. *)
+      if build_left then
+        right.biter env (fun b ->
+            let key = Column.getter b.Column.vecs.(rkey) in
+            for k = 0 to b.Column.n - 1 do
+              let i = b.Column.sel.(k) in
+              match Hashtbl.find_opt table (key i) with
+              | None -> ()
+              | Some ls ->
+                let rrow = Column.row b k in
+                List.iter (fun lrow -> emit (Array.append lrow rrow)) ls
+            done)
+      else
+        left.biter env (fun b ->
+            let key = Column.getter b.Column.vecs.(lkey) in
+            for k = 0 to b.Column.n - 1 do
+              let i = b.Column.sel.(k) in
+              match Hashtbl.find_opt table (key i) with
+              | None -> ()
+              | Some rs ->
+                let lrow = Column.row b k in
+                List.iter (fun rrow -> emit (Array.append lrow rrow)) rs
+            done);
+      flush ())
+    (fun env sink ->
       let emit =
         match residual with
         | None -> sink
         | Some p -> fun row -> if p row then sink row
       in
-      let table =
-        match Atomic.get memo with
-        | Some (cat, table) when cat == env.cat -> table
-        | _ ->
-          let table : (Value.t, Value.t array list) Hashtbl.t =
-            Hashtbl.create 64
-          in
-          let side, key = if build_left then (left, lkey) else (right, rkey) in
-          side.iter env (fun row ->
-              let k = row.(key) in
-              let prev = try Hashtbl.find table k with Not_found -> [] in
-              Hashtbl.replace table k (row :: prev));
-          Atomic.set memo (Some (env.cat, table));
-          table
-      in
+      let table = table_for env in
       if build_left then
         right.iter env (fun rrow ->
             match Hashtbl.find_opt table rrow.(rkey) with
@@ -184,9 +313,43 @@ let hash_join ~build_left ~lkey ~rkey ~residual left right =
 
 let nl_product left right =
   let cols = left.cols @ right.cols in
+  let right_arity = List.length right.cols in
   make ~kind:Eval.Op_product ~cols
     ~check:(fun env -> left.check env && right.check env)
     ~desc:(Printf.sprintf "×(%s, %s)" left.desc right.desc)
+    ~biter:(fun env bsink ->
+      (* Right side columnised once; each left row broadcasts as constant
+         vectors over the right chunks — no combined row materialises. *)
+      let rvecs, rn =
+        match right.stored with
+        | Some rel ->
+          let r = rel env in
+          (lazy (Relation.columns r), Relation.cardinality r)
+        | None ->
+          let buf = ref [] in
+          right.iter env (fun row -> buf := row :: !buf);
+          let rows = Array.of_list (List.rev !buf) in
+          (lazy (Column.of_rows ~arity:right_arity rows), Array.length rows)
+      in
+      if rn > 0 then begin
+        let rvecs = Lazy.force rvecs in
+        let chunks = ref [] in
+        Column.iter_chunks rn ~f:(fun sel len -> chunks := (sel, len) :: !chunks);
+        let chunks = List.rev !chunks in
+        left.biter env (fun lb ->
+            for k = 0 to lb.Column.n - 1 do
+              let i = lb.Column.sel.(k) in
+              let consts =
+                Array.map
+                  (fun v -> Column.VConst (Column.get v i))
+                  lb.Column.vecs
+              in
+              List.iter
+                (fun (sel, len) ->
+                  bsink { Column.vecs = Array.append consts rvecs; sel; n = len })
+                chunks
+            done)
+      end)
     (fun env sink ->
       let rrows =
         match right.stored with
@@ -210,6 +373,7 @@ let guard gs inner =
   {
     cols = inner.cols;
     iter = (fun env sink -> if pass env then inner.iter env sink);
+    biter = (fun env bsink -> if pass env then inner.biter env bsink);
     stored = None;
     check = (fun env -> pass env && inner.check env);
     desc =
@@ -261,6 +425,52 @@ let agg_state = function
           | _ -> best := Some v),
       fun () -> Option.value ~default:Value.Null !best )
 
+(* Batch aggregate state: same accumulation order as {!agg_state} (rows in
+   selection order), so float sums stay bit-identical across engines. *)
+let agg_bstate spec =
+  match spec with
+  | Count_spec ->
+    let n = ref 0 in
+    ((fun b -> n := !n + b.Column.n), fun () -> Value.Int !n)
+  | Sum_spec p ->
+    let acc = ref Value.Null in
+    ( (fun b ->
+        let get = Column.getter b.Column.vecs.(p) in
+        for k = 0 to b.Column.n - 1 do
+          acc := Value.add !acc (get b.Column.sel.(k))
+        done),
+      fun () -> !acc )
+  | Avg_spec p ->
+    let sum = ref 0. and n = ref 0 in
+    ( (fun b ->
+        let get = Column.getter b.Column.vecs.(p) in
+        for k = 0 to b.Column.n - 1 do
+          let v = get b.Column.sel.(k) in
+          if not (Value.is_null v) then
+            match Value.to_float_opt v with
+            | Some f ->
+              sum := !sum +. f;
+              incr n
+            | None -> invalid_arg "Value.add: string operand"
+        done),
+      fun () ->
+        if !n = 0 then Value.Null else Value.Float (!sum /. float_of_int !n) )
+  | (Min_spec p | Max_spec p) as spec ->
+    let keep =
+      match spec with Max_spec _ -> (fun c -> c > 0) | _ -> fun c -> c < 0
+    in
+    let best = ref None in
+    ( (fun b ->
+        let get = Column.getter b.Column.vecs.(p) in
+        for k = 0 to b.Column.n - 1 do
+          let v = get b.Column.sel.(k) in
+          if not (Value.is_null v) then
+            match !best with
+            | Some bst when not (keep (Value.compare v bst)) -> ()
+            | _ -> best := Some v
+        done),
+      fun () -> Option.value ~default:Value.Null !best )
+
 let spec_name = function
   | Count_spec -> "count"
   | Sum_spec _ -> "sum"
@@ -272,6 +482,10 @@ let aggregate ~spec ~col inner =
   make ~kind:Eval.Op_aggregate ~cols:[ col ]
     ~check:(fun _ -> true) (* aggregates always emit exactly one row *)
     ~desc:(Printf.sprintf "agg[%s](%s)" (spec_name spec) inner.desc)
+    ~biter:(fun env bsink ->
+      let feed, finish = agg_bstate spec in
+      inner.biter env feed;
+      bsink (Column.batch_of_rows [| [| finish () |] |] 1))
     (fun env sink ->
       let feed, finish = agg_state spec in
       inner.iter env feed;
@@ -281,31 +495,50 @@ let aggregate ~spec ~col inner =
    interpreted evaluator), one aggregate state per group — the group's rows
    are folded as they stream by, never collected. *)
 let group_by ~key_pos ~spec ~cols inner =
+  let fold_groups drive =
+    let groups :
+        (Value.t array, (Value.t array -> unit) * (unit -> Value.t)) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let order = ref [] in
+    drive (fun row ->
+        let key = Array.map (fun i -> row.(i)) key_pos in
+        let feed =
+          match Hashtbl.find_opt groups key with
+          | Some (feed, _) -> feed
+          | None ->
+            let state = agg_state spec in
+            Hashtbl.add groups key state;
+            order := key :: !order;
+            fst state
+        in
+        feed row);
+    (groups, List.rev !order)
+  in
   make ~kind:Eval.Op_groupby ~cols ~check:inner.check
     ~desc:(Printf.sprintf "γ[%s](%s)" (spec_name spec) inner.desc)
-    (fun env sink ->
-      let groups : (Value.t array, (Value.t array -> unit) * (unit -> Value.t)) Hashtbl.t
-          =
-        Hashtbl.create 64
+    ~biter:(fun env bsink ->
+      let groups, order =
+        fold_groups (fun f ->
+            inner.biter env (fun b ->
+                for k = 0 to b.Column.n - 1 do
+                  f (Column.row b k)
+                done))
       in
-      let order = ref [] in
-      inner.iter env (fun row ->
-          let key = Array.map (fun i -> row.(i)) key_pos in
-          let feed =
-            match Hashtbl.find_opt groups key with
-            | Some (feed, _) -> feed
-            | None ->
-              let state = agg_state spec in
-              Hashtbl.add groups key state;
-              order := key :: !order;
-              fst state
-          in
-          feed row);
+      let push, flush = Column.batching_sink bsink in
+      List.iter
+        (fun key ->
+          let _, finish = Hashtbl.find groups key in
+          push (Array.append key [| finish () |]))
+        order;
+      flush ())
+    (fun env sink ->
+      let groups, order = fold_groups (fun f -> inner.iter env f) in
       List.iter
         (fun key ->
           let _, finish = Hashtbl.find groups key in
           sink (Array.append key [| finish () |]))
-        (List.rev !order))
+        order)
 
 (* ------------------------------------------------------------------ *)
 (* A complete plan: a root pipe plus the header the result must carry. *)
@@ -330,9 +563,29 @@ let execute ?ctrs cat t =
     t.root.iter env (fun row -> buf := row :: !buf);
     Relation.of_rows ~cols:t.header (Array.of_list (List.rev !buf))
 
+let execute_batches ?ctrs cat t =
+  let env = { cat; ctrs } in
+  match t.root.stored with
+  | Some rel ->
+    let r = rel env in
+    if Relation.cols r = t.header then r
+    else Relation.of_rows ~cols:t.header r.Relation.rows
+  | None ->
+    let buf = ref [] in
+    t.root.biter env (fun b ->
+        for k = 0 to b.Column.n - 1 do
+          buf := Column.row b k :: !buf
+        done);
+    Relation.of_rows ~cols:t.header (Array.of_list (List.rev !buf))
+
 (* Stream the result rows without materialising a relation (the fused
    evaluate-and-accumulate path of the basic algorithm).  Emitted arrays
    are never mutated afterwards, so consumers may keep them. *)
 let iter_rows ?ctrs cat t ~f = t.root.iter { cat; ctrs } f
+
+(* Stream the result as batches (the vectorized fused path).  Batches are
+   only valid during the callback: vectors are shared, but selection arrays
+   may be reused by producers — consumers must not retain them. *)
+let iter_batches ?ctrs cat t ~f = t.root.biter { cat; ctrs } f
 
 let nonempty ?ctrs cat t = t.root.check { cat; ctrs }

@@ -1,6 +1,8 @@
-(* A mutex-protected LRU cache of compiled plans, keyed on the expression
-   fingerprint (base relations are plan parameters, so one cached plan
-   serves every execution of that shape against the environment's catalog).
+(* An LRU cache of compiled plans, keyed on the expression fingerprint
+   (base relations are plan parameters, so one cached plan serves every
+   execution of that shape against the environment's catalog).  The
+   recency/eviction machinery is {!Urm_util.Lru}; this module adds the
+   plan-cache statistics and the compile-race discipline.
 
    The paper's algorithms evaluate h reformulated queries per target query
    that share a handful of shapes; caching turns h compilations into one.
@@ -8,114 +10,54 @@
    fingerprints name ephemeral relation ids) — [Ctx] enforces that.
 
    Compilation runs outside the lock: two domains racing on the same fresh
-   key may both compile, and the second insert wins — wasted work, never
-   wrong answers. *)
+   key may both compile, and [Lru.put_if_absent] keeps the incumbent — the
+   loser adopts the winner's plan; wasted work, never wrong answers. *)
 
-type entry = {
-  key : string;
-  plan : Plan.t;
-  mutable prev : entry option;
-  mutable next : entry option;
-}
+module Lru = Urm_util.Lru
 
 type t = {
-  capacity : int;
-  table : (string, entry) Hashtbl.t;
-  mutable head : entry option;  (* most recently used *)
-  mutable tail : entry option;  (* least recently used *)
-  lock : Mutex.t;
+  lru : Plan.t Lru.t;
   c_hit : Urm_obs.Metrics.counter;
   c_miss : Urm_obs.Metrics.counter;
   c_evict : Urm_obs.Metrics.counter;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  (* Per-cache numbers, separate from the (possibly shared) metrics
+     registry: {!stats} must report this cache alone. *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 let create ?(metrics = Urm_obs.Metrics.global) ?(capacity = 256) () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
   let m = Urm_obs.Metrics.scope metrics "plan_cache" in
   {
-    capacity;
-    table = Hashtbl.create (2 * capacity);
-    head = None;
-    tail = None;
-    lock = Mutex.create ();
+    lru = Lru.create ~capacity;
     c_hit = Urm_obs.Metrics.counter m "hit";
     c_miss = Urm_obs.Metrics.counter m "miss";
     c_evict = Urm_obs.Metrics.counter m "evict";
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
-
-(* Doubly-linked recency list maintenance; all callers hold the lock. *)
-
-let unlink t e =
-  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
-  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
-  e.prev <- None;
-  e.next <- None
-
-let push_front t e =
-  e.next <- t.head;
-  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
-  t.head <- Some e
-
-let touch t e =
-  if t.head != Some e then begin
-    unlink t e;
-    push_front t e
-  end
-
-let evict_over_capacity t =
-  while Hashtbl.length t.table > t.capacity do
-    match t.tail with
-    | None -> assert false
-    | Some lru ->
-      unlink t lru;
-      Hashtbl.remove t.table lru.key;
-      t.evictions <- t.evictions + 1;
-      Urm_obs.Metrics.incr t.c_evict
-  done
-
 let find_or_add t key compile =
-  let cached =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some e ->
-          touch t e;
-          t.hits <- t.hits + 1;
-          Urm_obs.Metrics.incr t.c_hit;
-          Some e.plan
-        | None ->
-          t.misses <- t.misses + 1;
-          Urm_obs.Metrics.incr t.c_miss;
-          None)
-  in
-  match cached with
-  | Some plan -> plan
+  match Lru.find t.lru key with
+  | Some plan ->
+    Atomic.incr t.hits;
+    Urm_obs.Metrics.incr t.c_hit;
+    plan
   | None ->
+    Atomic.incr t.misses;
+    Urm_obs.Metrics.incr t.c_miss;
     let plan = compile () in
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some e ->
-          (* Lost a compile race; keep the incumbent. *)
-          touch t e;
-          e.plan
-        | None ->
-          let e = { key; plan; prev = None; next = None } in
-          Hashtbl.replace t.table key e;
-          push_front t e;
-          evict_over_capacity t;
-          plan)
+    let winner, _inserted, evicted = Lru.put_if_absent t.lru key plan in
+    let n = List.length evicted in
+    if n > 0 then begin
+      ignore (Atomic.fetch_and_add t.evictions n);
+      Urm_obs.Metrics.incr ~by:n t.c_evict
+    end;
+    winner
 
-let stats t =
-  locked t (fun () -> (t.hits, t.misses, t.evictions))
-
-let length t = locked t (fun () -> Hashtbl.length t.table)
-let capacity t = t.capacity
+let stats t = (Atomic.get t.hits, Atomic.get t.misses, Atomic.get t.evictions)
+let length t = Lru.length t.lru
+let capacity t = Lru.capacity t.lru

@@ -3,6 +3,10 @@ type t = {
   cols : string array;
   positions : (string, int) Hashtbl.t;
   rows : Value.t array array;
+  vecs : Column.vec array option Atomic.t;
+      (* Lazily-built typed columns (see [columns]); [Atomic] so concurrent
+         first columnisations publish safely — both build the same vectors
+         and the last store wins. *)
 }
 
 (* Atomic so relations allocated by concurrent service workers still get
@@ -27,7 +31,13 @@ let of_rows ~cols rows =
     (fun r ->
       if Array.length r <> arity then invalid_arg "Relation: row arity mismatch")
     rows;
-  { id = next_id (); cols; positions = positions_of cols; rows }
+  {
+    id = next_id ();
+    cols;
+    positions = positions_of cols;
+    rows;
+    vecs = Atomic.make None;
+  }
 
 let create ~cols rows = of_rows ~cols (Array.of_list rows)
 let empty ~cols = of_rows ~cols [||]
@@ -39,9 +49,23 @@ let col_pos t name = Hashtbl.find t.positions name
 let mem_col t name = Hashtbl.mem t.positions name
 let value t row col = t.rows.(row).(col_pos t col)
 
+let columns t =
+  match Atomic.get t.vecs with
+  | Some v -> v
+  | None ->
+    let v = Column.of_rows ~arity:(arity t) t.rows in
+    Atomic.set t.vecs (Some v);
+    v
+
 let filter t f =
   let rows = Array.of_seq (Seq.filter f (Array.to_seq t.rows)) in
-  { id = next_id (); cols = t.cols; positions = t.positions; rows }
+  {
+    id = next_id ();
+    cols = t.cols;
+    positions = t.positions;
+    rows;
+    vecs = Atomic.make None;
+  }
 
 let project t names =
   let idx = List.map (col_pos t) names in
@@ -74,11 +98,12 @@ let product a b =
           incr k)
         b.rows)
     a.rows;
-  { id = next_id (); cols; positions = positions_of cols; rows }
+  { id = next_id (); cols; positions = positions_of cols; rows; vecs = Atomic.make None }
 
 let rename t f =
   let cols = Array.map f t.cols in
-  { id = next_id (); cols; positions = positions_of cols; rows = t.rows }
+  (* Rows are shared, so the columnised form is too. *)
+  { id = next_id (); cols; positions = positions_of cols; rows = t.rows; vecs = t.vecs }
 
 let rename_prefix t p = rename t (fun c -> p ^ "#" ^ c)
 let iter f t = Array.iter f t.rows

@@ -9,6 +9,8 @@ type t = private {
   cols : string array;
   positions : (string, int) Hashtbl.t;
   rows : Value.t array array;
+  vecs : Column.vec array option Atomic.t;
+      (** lazily-built typed columns; read through {!columns} *)
 }
 
 (** [create ~cols rows] checks that every row has the arity of [cols] and
@@ -32,6 +34,11 @@ val mem_col : t -> string -> bool
 
 (** [value t row col] is the value at row index [row], column [col]. *)
 val value : t -> int -> string -> Value.t
+
+(** [columns t] the typed column vectors of [t], built on first use and
+    memoised for the relation's lifetime (rows are immutable).  Safe from
+    concurrent domains: racing builders publish identical vectors. *)
+val columns : t -> Column.vec array
 
 (** [filter t f] keeps rows satisfying [f]. *)
 val filter : t -> (Value.t array -> bool) -> t

@@ -1,4 +1,5 @@
 module Metrics = Urm_obs.Metrics
+module Lru = Urm_util.Lru
 
 type t = {
   lru : Urm_util.Json.t Lru.t;

@@ -21,7 +21,7 @@ let default_config =
     cache_capacity = 256;
     send_timeout = 10.;
     eval_jobs = 1;
-    engine = Urm_relalg.Compile.Compiled;
+    engine = Urm_relalg.Compile.Vectorized;
   }
 
 (* ------------------------------------------------------------------ *)

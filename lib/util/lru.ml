@@ -55,6 +55,18 @@ let find t key =
         push_front t n;
         Some n.value)
 
+let evict_over_capacity t =
+  let evicted = ref [] in
+  while Hashtbl.length t.tbl > t.cap do
+    match t.tail with
+    | None -> assert false
+    | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.key;
+      evicted := n.key :: !evicted
+  done;
+  !evicted
+
 let add t key value =
   locked t (fun () ->
       (match Hashtbl.find_opt t.tbl key with
@@ -66,16 +78,22 @@ let add t key value =
         let n = { key; value; prev = None; next = None } in
         Hashtbl.replace t.tbl key n;
         push_front t n);
-      let evicted = ref [] in
-      while Hashtbl.length t.tbl > t.cap do
-        match t.tail with
-        | None -> assert false
-        | Some n ->
-          unlink t n;
-          Hashtbl.remove t.tbl n.key;
-          evicted := n.key :: !evicted
-      done;
-      !evicted)
+      evict_over_capacity t)
+
+let put_if_absent t key value =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+        (* Keep the incumbent: callers that computed [value] outside the
+           lock lost a race and must adopt the winner. *)
+        unlink t n;
+        push_front t n;
+        (n.value, false, [])
+      | None ->
+        let n = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.tbl key n;
+        push_front t n;
+        (value, true, evict_over_capacity t))
 
 let clear t =
   locked t (fun () ->

@@ -1,6 +1,7 @@
 (** A mutex-guarded LRU map from string keys to values.
 
-    Backing store for the service answer cache: bounded capacity, O(1)
+    Backing store for the service answer cache and the compiled-plan
+    cache: bounded capacity, O(1)
     lookup and insertion, least-recently-used eviction.  {!find} counts as
     a use.  All operations are safe to call from concurrent domains. *)
 
@@ -19,6 +20,12 @@ val find : 'a t -> string -> 'a option
     least-recently-used entries beyond capacity.  Returns the evicted
     keys (at most one, except degenerate capacities). *)
 val add : 'a t -> string -> 'a -> string list
+
+(** [put_if_absent t key v] inserts [v] only when [key] is unbound,
+    otherwise promotes the incumbent.  Returns [(winner, inserted,
+    evicted)] — the race discipline of caches whose values are computed
+    outside the lock: the loser adopts the winner's value. *)
+val put_if_absent : 'a t -> string -> 'a -> 'a * bool * string list
 
 (** Drop every entry. *)
 val clear : 'a t -> unit

@@ -61,7 +61,7 @@ let default =
     k_sweep = [ 1; 5; 10; 15; 20 ];
     runs = 1;
     jobs = 1;
-    engine = Urm_relalg.Compile.Compiled;
+    engine = Urm_relalg.Compile.Vectorized;
   }
 
 let quick =
@@ -74,7 +74,7 @@ let quick =
     k_sweep = [ 1; 3 ];
     runs = 1;
     jobs = 1;
-    engine = Urm_relalg.Compile.Compiled;
+    engine = Urm_relalg.Compile.Vectorized;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -16,7 +16,7 @@ val seed : t -> int
 val instance_rows : t -> int
 
 (** [ctx ?engine p target] evaluation context for one target schema.
-    [engine] selects the execution engine (default compiled). *)
+    [engine] selects the execution engine (default vectorized). *)
 val ctx :
   ?engine:Urm_relalg.Compile.engine -> t -> Urm_relalg.Schema.t -> Urm.Ctx.t
 

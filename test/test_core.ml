@@ -267,6 +267,26 @@ let test_answer_equal () =
   Urm.Answer.add b [| i 2 |] 0.1;
   Alcotest.(check bool) "not equal" false (Urm.Answer.equal a b)
 
+(* Regression: equality must match buckets one-to-one.  Two near-identical
+   float keys of [a] used to both claim the same bucket of [b], so [a]
+   compared equal to a [b] it plainly differs from — and only in one
+   direction (the check was asymmetric). *)
+let test_answer_equal_one_to_one () =
+  let near = 1.0 +. 1e-12 in
+  let mk rows =
+    let t = Urm.Answer.create [ "x" ] in
+    List.iter (fun (v, p) -> Urm.Answer.add t [| f v |] p) rows;
+    t
+  in
+  let a = mk [ (1.0, 0.3); (near, 0.3) ] in
+  let b = mk [ (1.0, 0.3); (5.0, 0.3) ] in
+  Alcotest.(check bool) "a vs b" false (Urm.Answer.equal a b);
+  Alcotest.(check bool) "b vs a" false (Urm.Answer.equal b a);
+  (* Sanity: near-identical keys still match their own copy. *)
+  let a' = mk [ (1.0, 0.3); (near, 0.3) ] in
+  Alcotest.(check bool) "a vs a'" true (Urm.Answer.equal a a');
+  Alcotest.(check bool) "a' vs a" true (Urm.Answer.equal a' a)
+
 let test_answer_arity_mismatch () =
   let a = Urm.Answer.create [ "x"; "y" ] in
   Alcotest.check_raises "arity" (Invalid_argument "Answer.add: arity mismatch")
@@ -677,6 +697,8 @@ let suite =
     Alcotest.test_case "reformulate factor" `Quick test_reformulate_factor;
     Alcotest.test_case "answer accumulate" `Quick test_answer_accumulate;
     Alcotest.test_case "answer equal" `Quick test_answer_equal;
+    Alcotest.test_case "answer equal matches buckets one-to-one" `Quick
+      test_answer_equal_one_to_one;
     Alcotest.test_case "answer arity" `Quick test_answer_arity_mismatch;
     Alcotest.test_case "ptree paper q1" `Quick test_ptree_paper_q1;
     Alcotest.test_case "ptree = naive" `Quick test_ptree_matches_naive;

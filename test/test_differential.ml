@@ -80,11 +80,12 @@ let check_agreement ctxs q ms =
   | None -> true
   | Some msg -> QCheck.Test.fail_report msg
 
-(* Interpreted first (it provides the baseline), then compiled. *)
+(* Interpreted first (it provides the baseline), then the plan engines. *)
 let both_engines mk =
   [
     ("interpreted", mk Urm_relalg.Compile.Interpreted);
     ("compiled", mk Urm_relalg.Compile.Compiled);
+    ("vectorized", mk Urm_relalg.Compile.Vectorized);
   ]
 
 (* ------------------------------------------------------------------ *)

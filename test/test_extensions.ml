@@ -246,6 +246,21 @@ let test_csv_typed () =
   Alcotest.(check bool) "int" true (Value.equal (Relation.value rel 0 "k") (i 1));
   Alcotest.(check bool) "empty is null" true (Value.is_null (Relation.value rel 1 "name"))
 
+(* Regression: a quoted field pending at EOF (no trailing newline) was
+   dropped when its unescaped text was empty — [parse_rows]'s final flush
+   tested only the buffer, which [""] leaves empty. *)
+let test_csv_eof_quoted_field () =
+  let one_row text =
+    let rel = Csv.read_string text in
+    Alcotest.(check int) (Printf.sprintf "%S row count" text) 1
+      (Relation.cardinality rel);
+    Relation.value rel 0 "c"
+  in
+  Alcotest.(check bool) "empty quoted string at EOF survives" true
+    (Value.equal (one_row "c\n\"\"") (Value.Str ""));
+  Alcotest.(check bool) "escaped quote at EOF survives" true
+    (Value.equal (one_row "c\n\"a\"\"b\"") (Value.Str "a\"b"))
+
 let test_csv_errors () =
   (match Csv.read_string "a,b\n1\n" with
   | exception Failure _ -> ()
@@ -495,6 +510,7 @@ let suite =
     Alcotest.test_case "threshold exact when finished" `Quick test_threshold_exact_probs_when_finished;
     Alcotest.test_case "csv roundtrip untyped" `Quick test_csv_roundtrip_untyped;
     Alcotest.test_case "csv typed" `Quick test_csv_typed;
+    Alcotest.test_case "csv quoted field at EOF" `Quick test_csv_eof_quoted_field;
     Alcotest.test_case "csv errors" `Quick test_csv_errors;
     Alcotest.test_case "csv catalog roundtrip" `Quick test_csv_catalog_roundtrip;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;

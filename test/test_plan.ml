@@ -4,9 +4,11 @@
    nulls, duplicates and skew, so join orders and build sides actually
    vary) and random algebra expressions over them (selections, equi- and
    theta-joins, products, projections, distinct, aggregates, group-by).
-   The property: [Compile.compile |> Plan.execute] returns exactly the
+   The property: [Compile.compile |> Plan.execute] (row stream) and
+   [Plan.execute_batches] (columnar batch stream) return exactly the
    same header and row multiset as the tree-walking interpreter, both
-   with and without the logical optimiser.
+   with and without the logical optimiser; dedicated cardinalities
+   exercise the 1024-row batch boundaries.
 
    Deterministic unit tests cover the plan cache's hit/miss/evict
    accounting, cost-based build-side selection, aggregate null/string
@@ -168,11 +170,19 @@ let qcheck_compiled_vs_interpreted =
             let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
             Plan.execute cat (Compile.compile env e))
       in
+      let vectorized =
+        outcome (fun () ->
+            let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
+            Plan.execute_batches cat (Compile.compile env e))
+      in
       if not (agree interp unopt) then
         QCheck.Test.fail_reportf "optimised interpreter disagrees on %s"
           (Algebra.to_string e)
       else if not (agree interp compiled) then
         QCheck.Test.fail_reportf "compiled engine disagrees on %s"
+          (Algebra.to_string e)
+      else if not (agree interp vectorized) then
+        QCheck.Test.fail_reportf "vectorized engine disagrees on %s"
           (Algebra.to_string e)
       else true)
 
@@ -190,8 +200,52 @@ let qcheck_compiled_no_index =
             let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
             Plan.execute cat (Compile.compile env e))
       in
-      agree interp compiled
+      let vectorized =
+        outcome (fun () ->
+            let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
+            Plan.execute_batches cat (Compile.compile env e))
+      in
+      agree interp compiled && agree interp vectorized
       || QCheck.Test.fail_reportf "compiled (no index) disagrees on %s"
+           (Algebra.to_string e))
+
+(* Batch-boundary cardinalities: the vectorized stream must agree exactly
+   where batches split — empty inputs, single rows, and one row either
+   side of the 1024-row batch size. *)
+let qcheck_batch_boundaries =
+  QCheck.Test.make
+    ~name:"batch streams agree at batch-size boundaries (0/1/1023/1024/1025)"
+    ~count:30
+    (QCheck.make
+       QCheck.Gen.(pair (oneofl [ 0; 1; 1023; 1024; 1025 ]) (0 -- 2)))
+    (fun (n, shape) ->
+      let cat = Catalog.create () in
+      Catalog.add cat "B"
+        (Relation.create ~cols:[ "a"; "b" ]
+           (List.init n (fun j ->
+                [|
+                  i (j mod 5);
+                  (if j mod 7 = 0 then Value.Null else f (float_of_int (j mod 3)));
+                |])));
+      let b_ = Algebra.Rename ("b", Algebra.Base "B") in
+      let e =
+        match shape with
+        | 0 -> Algebra.Select (Pred.Cmp (Pred.Lt, "b#a", i 3), b_)
+        | 1 ->
+          Algebra.Distinct
+            (Algebra.Project
+               ([ "b#b" ], Algebra.Select (Pred.Cmp (Pred.Ne, "b#a", i 0), b_)))
+        | _ ->
+          Algebra.Aggregate
+            (Algebra.Count, Algebra.Select (Pred.Cmp (Pred.Ge, "b#b", f 1.), b_))
+      in
+      let interp = outcome (fun () -> Eval.eval cat e) in
+      let env = Compile.create_env ~metrics:(Urm_obs.Metrics.create ()) cat in
+      let plan = Compile.compile env e in
+      let rowwise = outcome (fun () -> Plan.execute cat plan) in
+      let batched = outcome (fun () -> Plan.execute_batches cat plan) in
+      agree interp rowwise && agree interp batched
+      || QCheck.Test.fail_reportf "boundary n=%d disagrees on %s" n
            (Algebra.to_string e))
 
 (* ------------------------------------------------------------------ *)
@@ -325,6 +379,30 @@ let test_aggregate_semantics () =
       ignore (Plan.execute cat (Compile.compile env e)))
 
 (* ------------------------------------------------------------------ *)
+(* Emptiness probes must leave metrics untouched: [Plan.nonempty] (and the
+   derived [check] it runs) previously streamed through the accounting
+   wrappers, inflating operator/row/access counters with rows no query
+   produced. *)
+
+let test_nonempty_counters () =
+  let cat = fixed_catalog () in
+  let metrics = Urm_obs.Metrics.create () in
+  let env = Compile.create_env ~metrics cat in
+  (* Ne lowers to a scan-side filter, the path whose access counter the
+     derived check used to bump. *)
+  let e = Algebra.Select (Pred.Cmp (Pred.Ne, "r#b", s "nope"), r_) in
+  let plan = Compile.compile env e in
+  let ctrs = Eval.fresh_counters ~metrics () in
+  Alcotest.(check bool) "probe finds rows" true (Plan.nonempty ~ctrs cat plan);
+  Alcotest.(check int) "no operators recorded" 0 ctrs.Eval.operators;
+  Alcotest.(check int) "no rows recorded" 0 ctrs.Eval.rows_produced;
+  Alcotest.(check (option int))
+    "no scan accesses recorded" (Some 0)
+    (Urm_obs.Metrics.find_counter
+       (Urm_obs.Metrics.scope metrics "relalg")
+       "select.scan")
+
+(* ------------------------------------------------------------------ *)
 (* Ctx-level plan reuse: the same shape evaluated twice compiles once. *)
 
 let test_ctx_reuse () =
@@ -344,6 +422,9 @@ let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_compiled_vs_interpreted;
     QCheck_alcotest.to_alcotest qcheck_compiled_no_index;
+    QCheck_alcotest.to_alcotest qcheck_batch_boundaries;
+    Alcotest.test_case "emptiness probes leave counters untouched" `Quick
+      test_nonempty_counters;
     Alcotest.test_case "plan cache hit/miss/evict accounting" `Quick
       test_cache_accounting;
     Alcotest.test_case "plan cache rejects non-positive capacity" `Quick

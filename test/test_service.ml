@@ -4,7 +4,7 @@
    part of @runtest). *)
 
 module Json = Urm_util.Json
-module Lru = Urm_service.Lru
+module Lru = Urm_util.Lru
 module Protocol = Urm_service.Protocol
 
 (* ------------------------------------------------------------------ *)
