@@ -322,6 +322,137 @@ let run_eval quick engine_opt =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 1d: the anytime sweep (id "anytime").
+
+   The headline claim of lib/anytime: mapping sets far beyond exact reach
+   (h = 10³..10⁵, drawn by the synthetic generator) answered with
+   confidence intervals in less wall-clock than the exact Basic algorithm
+   needs at h = 300.  Per h × sample budget, runs the budgeted estimator
+   on Q4 and records wall time, samples drawn, distinct shapes evaluated,
+   the stop reason and the final max/mean interval widths — the
+   interval-width-vs-budget curve — written to BENCH_anytime.json next to
+   the exact baseline. *)
+
+let anytime_file = "BENCH_anytime.json"
+
+let run_anytime quick =
+  let module E = Urm_workload.Experiments in
+  let cfg = if quick then E.quick else E.default in
+  let target, q = Urm_workload.Queries.default in
+  let p = Urm_workload.Pipeline.create ~seed:cfg.E.seed ~scale:cfg.E.scale () in
+  let ctx = Urm_workload.Pipeline.ctx p target in
+  let exact_h = if quick then 50 else 300 in
+  let exact_ms = Urm_workload.Pipeline.mappings p target ~h:exact_h in
+  let exact_secs =
+    Urm_util.Timer.repeat ~warmup:0 ~runs:cfg.E.runs (fun () ->
+        ignore (E.run_alg cfg Urm.Algorithms.Basic ctx q exact_ms))
+  in
+  Format.printf "=== anytime sweep (Q4, synthetic mappings) ===@.@.";
+  Format.printf "  exact basic   h=%-7d          %8.3fs (baseline)@." exact_h
+    exact_secs;
+  let h_sweep = if quick then [ 1000 ] else [ 1000; 10_000; 100_000 ] in
+  let budgets = if quick then [ 64; 256 ] else [ 128; 512; 2048 ] in
+  let fastest_at_max_h = ref infinity in
+  let rows =
+    List.concat_map
+      (fun h ->
+        let ms = Urm_workload.Pipeline.synthetic_mappings p target ~h in
+        List.map
+          (fun samples ->
+            (* ε = 0 disables width convergence so the sweep traces the
+               full width-vs-budget curve at every point. *)
+            let budget =
+              {
+                Urm_anytime.Budget.default with
+                Urm_anytime.Budget.max_samples = Some samples;
+                epsilon = 0.;
+              }
+            in
+            let result = ref None in
+            let secs =
+              Urm_util.Timer.repeat ~warmup:0 ~runs:cfg.E.runs (fun () ->
+                  result :=
+                    Some
+                      (Urm_anytime.Estimator.run ~seed:cfg.E.seed ~budget ctx q
+                         ms))
+            in
+            let r = Option.get !result in
+            let widths =
+              let nl, nh = r.Urm_anytime.Estimator.null_interval in
+              (nh -. nl)
+              :: List.map
+                   (fun (_, (lo, hi)) -> hi -. lo)
+                   (Option.value ~default:[]
+                      r.Urm_anytime.Estimator.report.Urm.Report.intervals)
+            in
+            let max_width = List.fold_left Float.max 0. widths in
+            let mean_width = Urm_util.Stats.mean widths in
+            if h = List.fold_left max 0 h_sweep then
+              fastest_at_max_h := Float.min !fastest_at_max_h secs;
+            Format.printf
+              "  anytime       h=%-7d n=%-6d %8.3fs  width max %.4f mean \
+               %.4f  %s@."
+              h r.Urm_anytime.Estimator.samples secs max_width mean_width
+              (Urm_anytime.Budget.stop_reason_name
+                 r.Urm_anytime.Estimator.stop_reason);
+            Urm_util.Json.Obj
+              [
+                ("id", Urm_util.Json.Str "anytime");
+                ("query", Urm_util.Json.Str "Q4");
+                ("h", Urm_util.Json.Num (float_of_int h));
+                ("budget_samples", Urm_util.Json.Num (float_of_int samples));
+                ( "samples",
+                  Urm_util.Json.Num
+                    (float_of_int r.Urm_anytime.Estimator.samples) );
+                ( "shapes",
+                  Urm_util.Json.Num (float_of_int r.Urm_anytime.Estimator.shapes)
+                );
+                ("seconds", Urm_util.Json.Num secs);
+                ("max_width", Urm_util.Json.Num max_width);
+                ("mean_width", Urm_util.Json.Num mean_width);
+                ( "stop_reason",
+                  Urm_util.Json.Str
+                    (Urm_anytime.Budget.stop_reason_name
+                       r.Urm_anytime.Estimator.stop_reason) );
+              ])
+          budgets)
+      h_sweep
+  in
+  let faster = !fastest_at_max_h < exact_secs in
+  Format.printf
+    "@.  anytime at h=%d: best %.3fs vs exact %.3fs at h=%d → %s@."
+    (List.fold_left max 0 h_sweep)
+    !fastest_at_max_h exact_secs exact_h
+    (if faster then "faster" else "NOT faster");
+  let json =
+    Urm_util.Json.Obj
+      [
+        ( "config",
+          Urm_util.Json.Obj
+            [
+              ("seed", Urm_util.Json.Num (float_of_int cfg.E.seed));
+              ("scale", Urm_util.Json.Num cfg.E.scale);
+              ("runs", Urm_util.Json.Num (float_of_int cfg.E.runs));
+              ("delta", Urm_util.Json.Num Urm_anytime.Budget.default.Urm_anytime.Budget.delta);
+            ] );
+        ( "exact",
+          Urm_util.Json.Obj
+            [
+              ("algorithm", Urm_util.Json.Str "basic");
+              ("h", Urm_util.Json.Num (float_of_int exact_h));
+              ("seconds", Urm_util.Json.Num exact_secs);
+            ] );
+        ("faster_than_exact", Urm_util.Json.Bool faster);
+        ("rows", Urm_util.Json.Arr rows);
+      ]
+  in
+  let oc = open_out anytime_file in
+  output_string oc (Urm_util.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote anytime sweep to %s@.@." anytime_file
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one per table/figure. *)
 
 let micro_tests () =
@@ -422,4 +553,5 @@ let () =
   if not skip_tables then run_tables only quick;
   if not skip_tables && wanted only "par" then run_par quick;
   if not skip_tables && wanted only "eval" then run_eval quick engine;
+  if not skip_tables && wanted only "anytime" then run_anytime quick;
   if not skip_bechamel then run_bechamel only

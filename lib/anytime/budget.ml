@@ -1,0 +1,46 @@
+type t = {
+  max_samples : int option;
+  deadline : float option;
+  delta : float;
+  epsilon : float;
+  batch : int;
+}
+
+let default =
+  {
+    max_samples = Some 100_000;
+    deadline = None;
+    delta = 0.05;
+    epsilon = 0.02;
+    batch = 64;
+  }
+
+(* Backstop for a budget with neither a sample cap nor a deadline: the
+   stopping rule is then the only exit, and an unreachable δ/ε would spin
+   forever.  2^22 draws bound the run at a few seconds of bookkeeping. *)
+let unbounded_cap = 4_194_304
+
+let validate t =
+  if not (t.delta > 0. && t.delta < 1.) then
+    invalid_arg "Anytime: delta must lie in (0, 1)";
+  if not (t.epsilon >= 0.) then invalid_arg "Anytime: epsilon must be >= 0";
+  if t.batch <= 0 then invalid_arg "Anytime: batch must be positive";
+  (match t.max_samples with
+  | Some n when n <= 0 -> invalid_arg "Anytime: max_samples must be positive"
+  | _ -> ());
+  match t.deadline with
+  | Some d when not (d > 0.) -> invalid_arg "Anytime: deadline must be positive"
+  | _ -> ()
+
+type stop_reason = Converged | Samples_exhausted | Deadline_reached
+
+let stop_reason_name = function
+  | Converged -> "converged"
+  | Samples_exhausted -> "samples-exhausted"
+  | Deadline_reached -> "deadline-reached"
+
+let stop_reason_of_name = function
+  | "converged" -> Some Converged
+  | "samples-exhausted" -> Some Samples_exhausted
+  | "deadline-reached" -> Some Deadline_reached
+  | _ -> None

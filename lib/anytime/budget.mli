@@ -1,0 +1,40 @@
+(** Budgets and stop reasons for anytime approximate evaluation.
+
+    A budget combines three independent limits: a sample cap, a wall-clock
+    deadline, and the statistical target (δ, ε) the stopping rules check
+    between batches.  Whichever is hit first ends the run, and the
+    {!stop_reason} records which one it was. *)
+
+type t = {
+  max_samples : int option;  (** stop after this many draws ([None] = uncapped) *)
+  deadline : float option;
+      (** stop after this many wall-clock seconds ([None] = no deadline).
+          Deadline stops are inherently schedule-dependent; for bit-
+          reproducible runs budget by samples or by (δ, ε) instead. *)
+  delta : float;
+      (** confidence parameter: intervals and stopping decisions hold with
+          confidence 1−δ per tuple.  Must lie in (0, 1). *)
+  epsilon : float;
+      (** target half-width of the per-tuple intervals — the "run until δ
+          reached" convergence test of the plain estimator (ignored by the
+          top-k / threshold rules, which stop on decision stability). *)
+  batch : int;  (** draws between convergence/deadline checks *)
+}
+
+(** 100k samples cap, no deadline, δ = 0.05, ε = 0.02, batch 64. *)
+val default : t
+
+(** Hard sample cap applied when [max_samples] and [deadline] are both
+    [None], so an unreachable (δ, ε) cannot spin forever. *)
+val unbounded_cap : int
+
+(** Raises [Invalid_argument] on out-of-range fields. *)
+val validate : t -> unit
+
+type stop_reason =
+  | Converged  (** the stopping rule proved its target at confidence 1−δ *)
+  | Samples_exhausted
+  | Deadline_reached
+
+val stop_reason_name : stop_reason -> string
+val stop_reason_of_name : string -> stop_reason option

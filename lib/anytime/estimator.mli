@@ -1,0 +1,94 @@
+(** The budgeted Monte-Carlo estimator: sample mappings from the alias
+    table over Pr(mi), evaluate each sampled world once through the
+    context's engine (memoised per mapping and per reformulation shape),
+    and report per-tuple sample frequencies wrapped in Wilson score
+    intervals at confidence 1−δ.
+
+    Determinism contract: with a fixed [seed] and a budget that stops on
+    samples or on (δ, ε) — not on a wall-clock deadline — the sampled
+    stream, the stopping point and hence the whole result are reproducible
+    bit-for-bit, on every engine.  [Prng.split] detaches the sampling
+    stream from the seed's root stream, so callers can split further
+    independent streams off the same seed. *)
+
+(** A snapshot of the estimator's state, handed to stopping rules between
+    batches. *)
+type view = {
+  n : int;  (** samples drawn so far *)
+  z : float;  (** critical value for confidence 1−δ *)
+  counts : (Urm_relalg.Value.t array, int ref) Hashtbl.t Lazy.t;
+      (** occurrence counts per observed tuple, materialised from per-shape
+          tallies on first force — deciders that fail a cheap test (n,
+          unseen_hi) first never pay for it; read-only for deciders *)
+  null_count : int;  (** samples whose world produced the empty answer *)
+  unseen_hi : float;
+      (** Wilson upper bound on the probability of any tuple never yet
+          observed (the 0-successes-in-n bound) — the sampled analogue of
+          the paper's unvisited-mass upper bound UB *)
+}
+
+(** [interval view count] the Wilson interval at [view]'s n and z. *)
+val interval : view -> int -> float * float
+
+(** [z_of_delta delta] = Φ⁻¹(1 − δ/2). *)
+val z_of_delta : float -> float
+
+type raw = {
+  view : view;
+  samples : int;
+  shapes : int;  (** distinct reformulation shapes actually evaluated *)
+  stop_reason : Budget.stop_reason;
+  timings : Urm.Report.timings;
+  operators : int;
+  rows_produced : int;
+}
+
+(** [drive ?seed ~metrics ~budget ~decide ctx q ms] the generic sampling
+    loop shared by {!run}, {!Topk.run} and {!Threshold.run}: draws in
+    batches of [budget.batch], consulting [decide] after each batch until
+    it returns [true] ([Converged]) or the samples/deadline budget runs
+    out.  Raises [Invalid_argument] on an invalid budget or empty [ms]. *)
+val drive :
+  ?seed:int ->
+  metrics:Urm_obs.Metrics.t ->
+  budget:Budget.t ->
+  decide:(view -> bool) ->
+  Urm.Ctx.t ->
+  Urm.Query.t ->
+  Urm.Mapping.t list ->
+  raw
+
+(** [record_widths metrics raw] records the final interval spread (max and
+    mean full widths over observed tuples, θ included) under [metrics]. *)
+val record_widths : Urm_obs.Metrics.t -> raw -> unit
+
+type result = {
+  report : Urm.Report.t;
+      (** answer: per-tuple sample frequencies and θ frequency;
+          [report.intervals] carries the Wilson bounds *)
+  samples : int;
+  shapes : int;
+  stop_reason : Budget.stop_reason;
+  null_interval : float * float;  (** Wilson bounds on θ *)
+  unseen_hi : float;
+}
+
+(** [result_of_raw ~metrics q raw] assembles the report (answer = sample
+    frequencies, intervals over every observed tuple) and records run
+    metrics plus the final interval widths. *)
+val result_of_raw : metrics:Urm_obs.Metrics.t -> Urm.Query.t -> raw -> result
+
+(** [run ?seed ?metrics ?budget ctx q ms] the plain anytime estimate:
+    stops as soon as every interval (observed tuples, θ, and the
+    unseen-tuple bound) has half-width ≤ [budget.epsilon], or on budget
+    exhaustion.  Records under the ["anytime"] scope of [metrics]:
+    ["samples"], ["shapes"], ["stop.<reason>"] counters and
+    ["interval.max_width"] / ["interval.mean_width"] observations. *)
+val run :
+  ?seed:int ->
+  ?metrics:Urm_obs.Metrics.t ->
+  ?budget:Budget.t ->
+  Urm.Ctx.t ->
+  Urm.Query.t ->
+  Urm.Mapping.t list ->
+  result

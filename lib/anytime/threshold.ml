@@ -1,0 +1,65 @@
+(* Anytime threshold: stop once every answer tuple is decided against τ at
+   confidence 1−δ — its lower bound clears τ (in) or its upper bound falls
+   below τ (out) — and the unseen-tuple bound rules out any undiscovered
+   tuple reaching τ.  The answer is the "in" partition; [undecided] counts
+   the tuples still straddling τ when a budget stop cut the run short. *)
+
+type result = {
+  report : Urm.Report.t;
+  samples : int;
+  shapes : int;
+  stop_reason : Budget.stop_reason;
+  stopped_early : bool;
+  undecided : int;
+}
+
+let partition ~tau (view : Estimator.view) =
+  Hashtbl.fold
+    (fun t c (inn, undecided) ->
+      let lo, hi = Estimator.interval view !c in
+      if lo >= tau then ((t, !c, (lo, hi)) :: inn, undecided)
+      else if hi < tau then (inn, undecided)
+      else (inn, undecided + 1))
+    (Lazy.force view.Estimator.counts)
+    ([], 0)
+
+let decided ~tau (view : Estimator.view) =
+  view.Estimator.n > 0
+  && view.Estimator.unseen_hi < tau
+  && snd (partition ~tau view) = 0
+
+let run ?seed ?(metrics = Urm_obs.Metrics.global) ?(budget = Budget.default)
+    ~tau (ctx : Urm.Ctx.t) q ms =
+  if not (tau > 0. && tau <= 1.) then
+    invalid_arg "Anytime.Threshold.run: tau must lie in (0, 1]";
+  let m = Urm_obs.Metrics.scope metrics "anytime" in
+  let raw =
+    Estimator.drive ?seed ~metrics:m ~budget ~decide:(decided ~tau) ctx q ms
+  in
+  let view = raw.Estimator.view in
+  let total = float_of_int (max 1 view.Estimator.n) in
+  let inn, undecided = partition ~tau view in
+  let answer = Urm.Answer.create (Urm.Reformulate.output_header q) in
+  let intervals =
+    List.map
+      (fun (t, c, bounds) ->
+        Urm.Answer.add answer t (float_of_int c /. total);
+        (t, bounds))
+      inn
+  in
+  let report =
+    Urm.Report.make ~intervals ~answer ~timings:raw.Estimator.timings
+      ~source_operators:raw.Estimator.operators
+      ~rows_produced:raw.Estimator.rows_produced ~groups:raw.Estimator.shapes
+      ()
+  in
+  Urm.Report.record_metrics m report;
+  Estimator.record_widths m raw;
+  {
+    report;
+    samples = raw.Estimator.samples;
+    shapes = raw.Estimator.shapes;
+    stop_reason = raw.Estimator.stop_reason;
+    stopped_early = raw.Estimator.stop_reason = Budget.Converged;
+    undecided;
+  }

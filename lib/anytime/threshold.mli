@@ -1,0 +1,29 @@
+(** Anytime threshold (τ) queries: sample until every answer tuple is
+    decided against τ at confidence 1−δ — lower bound ≥ τ (in the answer)
+    or upper bound < τ (out) — and the unseen-tuple bound shows no
+    undiscovered tuple can reach τ. *)
+
+type result = {
+  report : Urm.Report.t;
+      (** answer = the tuples whose lower bound clears τ (sample
+          frequencies); [report.intervals] carries their Wilson bounds *)
+  samples : int;
+  shapes : int;
+  stop_reason : Budget.stop_reason;
+  stopped_early : bool;  (** [true] iff the run stopped on {!Budget.Converged} *)
+  undecided : int;
+      (** observed tuples whose interval still straddles τ — 0 whenever
+          [stopped_early] *)
+}
+
+(** [run ?seed ?metrics ?budget ~tau ctx q ms].  Raises [Invalid_argument]
+    unless τ ∈ (0, 1]. *)
+val run :
+  ?seed:int ->
+  ?metrics:Urm_obs.Metrics.t ->
+  ?budget:Budget.t ->
+  tau:float ->
+  Urm.Ctx.t ->
+  Urm.Query.t ->
+  Urm.Mapping.t list ->
+  result

@@ -1,0 +1,29 @@
+(** Anytime top-k: sample until the set of the k most probable answer
+    tuples is stable at confidence 1−δ, i.e. every tuple outside the
+    candidate set (including any tuple never yet observed, via the
+    0-successes Wilson bound) has an upper bound below the smallest lower
+    bound inside it. *)
+
+type result = {
+  report : Urm.Report.t;
+      (** answer restricted to the k winners (sample frequencies);
+          [report.intervals] carries their Wilson bounds *)
+  samples : int;
+  shapes : int;
+  stop_reason : Budget.stop_reason;
+  stopped_early : bool;  (** [true] iff the run stopped on {!Budget.Converged} *)
+}
+
+(** [run ?seed ?metrics ?budget ~k ctx q ms].  On budget exhaustion the
+    current best-k estimate is returned with [stopped_early = false];
+    consult the intervals to see how separated it is.  Raises
+    [Invalid_argument] if [k <= 0]. *)
+val run :
+  ?seed:int ->
+  ?metrics:Urm_obs.Metrics.t ->
+  ?budget:Budget.t ->
+  k:int ->
+  Urm.Ctx.t ->
+  Urm.Query.t ->
+  Urm.Mapping.t list ->
+  result

@@ -95,6 +95,7 @@ let run_scoped ~metrics (ctx : Ctx.t) q ms =
     ms;
   {
     Report.answer = acc;
+    intervals = None;
     timings =
       {
         Report.rewrite = Urm_util.Timer.Stopwatch.elapsed sw_rewrite;

@@ -56,6 +56,7 @@ let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
   let report =
     {
       Report.answer = acc;
+      intervals = None;
       timings =
         {
           Report.rewrite;

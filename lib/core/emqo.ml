@@ -63,6 +63,7 @@ let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
   let report =
     {
       Report.answer = acc;
+      intervals = None;
       timings = { Report.rewrite; plan = plan_time; evaluate; aggregate };
       source_operators = ctrs.Eval.operators;
       rows_produced = ctrs.Eval.rows_produced;

@@ -37,6 +37,124 @@ let from_candidates ~h cands =
       assignments
   end
 
+(* Murty's k-best enumeration is exact but its cost per mapping grows with
+   the score matrix, which rules it out for the anytime experiments at
+   h = 10⁴..10⁶.  [synthetic] trades exactness for volume: the greedy
+   rank-1 matching first (so the head of the set is the plausible best),
+   then randomized one-to-one variants — each target attribute is either
+   dropped (small probability) or matched to a score-weighted choice among
+   its still-unused candidate sources — deduplicated structurally and
+   normalised by total score.  Deterministic from [seed]. *)
+let synthetic ?(seed = 42) ~h cands =
+  if cands = [] || h <= 0 then []
+  else begin
+    let by_target : (string, (string * float) list) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    List.iter
+      (fun c ->
+        let t = c.Urm_matcher.Match.dst
+        and s = c.Urm_matcher.Match.src
+        and w = c.Urm_matcher.Match.score in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_target t) in
+        if not (List.mem_assoc s prev) then
+          Hashtbl.replace by_target t ((s, w) :: prev))
+      cands;
+    let targets =
+      Hashtbl.fold (fun t _ acc -> t :: acc) by_target []
+      |> List.sort String.compare |> Array.of_list
+    in
+    let greedy () =
+      let used = Hashtbl.create 16 in
+      Array.fold_left
+        (fun acc t ->
+          let best =
+            List.fold_left
+              (fun best (s, w) ->
+                if Hashtbl.mem used s then best
+                else
+                  match best with
+                  | Some (_, bw) when bw > w -> best
+                  | Some (bs, bw) when bw = w && String.compare bs s <= 0 ->
+                    best
+                  | _ -> Some (s, w))
+              None (Hashtbl.find by_target t)
+          in
+          match best with
+          | None -> acc
+          | Some (s, w) ->
+            Hashtbl.replace used s ();
+            ((t, s), w) :: acc)
+        [] targets
+    in
+    let rng = Urm_util.Prng.create seed in
+    let random_matching () =
+      let order = Array.copy targets in
+      Urm_util.Prng.shuffle rng order;
+      let used = Hashtbl.create 16 in
+      Array.fold_left
+        (fun acc t ->
+          if Urm_util.Prng.bool rng 0.15 then acc
+          else
+            let avail =
+              List.filter
+                (fun (s, _) -> not (Hashtbl.mem used s))
+                (Hashtbl.find by_target t)
+            in
+            let total = List.fold_left (fun a (_, w) -> a +. w) 0. avail in
+            if total <= 0. then acc
+            else begin
+              let x = Urm_util.Prng.float rng *. total in
+              let rec pick acc_w = function
+                | [ (s, w) ] -> (s, w)
+                | (s, w) :: rest ->
+                  let acc_w = acc_w +. w in
+                  if x < acc_w then (s, w) else pick acc_w rest
+                | [] -> assert false
+              in
+              let s, w = pick 0. avail in
+              Hashtbl.replace used s ();
+              ((t, s), w) :: acc
+            end)
+        [] order
+    in
+    (* Canonical key as one string: the generic [Hashtbl.hash] examines
+       only a bounded prefix of a structured key, which at h = 10⁵ makes a
+       pair-list table collide into O(h²) scans; a flat string is hashed
+       wholesale. *)
+    let canon pairs =
+      List.sort String.compare
+        (List.map (fun ((t, s), _) -> t ^ "=" ^ s) pairs)
+      |> String.concat ";"
+    in
+    let seen = Hashtbl.create (2 * h) in
+    let out = ref [] and count = ref 0 in
+    let admit pairs =
+      if pairs <> [] then begin
+        let key = canon pairs in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          let score = List.fold_left (fun a (_, w) -> a +. w) 0. pairs in
+          out := (List.map fst pairs, score) :: !out;
+          incr count
+        end
+      end
+    in
+    admit (greedy ());
+    let attempts = ref 0 in
+    let max_attempts = 20 * h in
+    while !count < h && !attempts < max_attempts do
+      incr attempts;
+      admit (random_matching ())
+    done;
+    let ms = List.rev !out in
+    let total = List.fold_left (fun a (_, s) -> a +. s) 0. ms in
+    List.mapi
+      (fun id (pairs, score) ->
+        Mapping.make ~id ~prob:(score /. total) ~score pairs)
+      ms
+  end
+
 let generate ?threshold ~h ~source ~target () =
   let cands = Urm_matcher.Match.candidates ?threshold ~source ~target () in
   from_candidates ~h cands

@@ -9,6 +9,16 @@
     of the returned set. *)
 val from_candidates : h:int -> Urm_matcher.Match.candidate list -> Mapping.t list
 
+(** [synthetic ?seed ~h cands] up to [h] distinct one-to-one mappings for
+    the anytime experiments at scales (h = 10⁴..10⁶) where Murty's exact
+    enumeration is too slow: the greedy rank-1 matching first, then
+    randomized score-weighted variants, deduplicated structurally, with
+    probabilities normalised over total score.  Deterministic from [seed];
+    may return fewer than [h] when the candidate set cannot support that
+    many distinct matchings. *)
+val synthetic :
+  ?seed:int -> h:int -> Urm_matcher.Match.candidate list -> Mapping.t list
+
 (** [generate ?threshold ~h ~source ~target ()] full pipeline:
     matcher candidates → k-best matchings → normalised mappings. *)
 val generate :

@@ -1,17 +1,15 @@
 open Urm_relalg
 
-let sample rng ms =
-  let x = Urm_util.Prng.float rng in
-  let rec pick acc = function
-    | [] -> List.nth ms (List.length ms - 1)
-    | m :: rest ->
-      let acc = acc +. m.Mapping.prob in
-      if x < acc then m else pick acc rest
-  in
-  pick 0. ms
+let sampler ms =
+  let arr = Array.of_list ms in
+  let table = Urm_util.Alias.create (Array.map (fun m -> m.Mapping.prob) arr) in
+  fun rng -> arr.(Urm_util.Alias.draw table rng)
+
+let sample rng ms = (sampler ms) rng
 
 let estimate ?(seed = 17) ~samples (ctx : Ctx.t) q ms =
   if samples <= 0 then invalid_arg "Montecarlo.estimate: samples must be positive";
+  let draw = sampler ms in
   let rng = Urm_util.Prng.create seed in
   (* Evaluate each distinct source query once; a sampled world then only
      looks up the tuples of its mapping's source query. *)
@@ -36,7 +34,7 @@ let estimate ?(seed = 17) ~samples (ctx : Ctx.t) q ms =
   let counts : (Value.t array, int) Hashtbl.t = Hashtbl.create 64 in
   let null_count = ref 0 in
   for _ = 1 to samples do
-    let world = sample rng ms in
+    let world = draw rng in
     match tuples_of world with
     | [] -> incr null_count
     | tuples ->

@@ -7,8 +7,13 @@
     independent cross-check of the exact algorithms (used by the test
     suite, and useful as a fallback for enormous mapping sets). *)
 
-(** [sample rng ms] draws one mapping according to the probabilities.
+(** [sampler ms] builds a Walker-Vose alias table over the probabilities
+    (shared with [Urm_anytime]) and returns an O(1)-per-draw sampler.
     Requires total probability ≈ 1. *)
+val sampler : Mapping.t list -> Urm_util.Prng.t -> Mapping.t
+
+(** [sample rng ms] draws one mapping according to the probabilities —
+    [sampler] applied once.  Prefer [sampler] when drawing repeatedly. *)
 val sample : Urm_util.Prng.t -> Mapping.t list -> Mapping.t
 
 (** [estimate ?seed ~samples ctx q ms] Monte-Carlo answer estimate: tuple

@@ -21,7 +21,25 @@ type t = {
   groups : int;
       (** distinct source queries / representative mappings / e-units,
           depending on the algorithm *)
+  intervals : (Urm_relalg.Value.t array * (float * float)) list option;
+      (** per-tuple [lo, hi] probability bounds, when the producing
+          algorithm is approximate (the anytime estimator); [None] for the
+          exact algorithms.  Sorted by lower bound descending (ties by
+          tuple), matching {!Answer.to_list}'s discipline. *)
 }
+
+(** [make ?intervals ~answer … ()] assembles a report; [intervals]
+    defaults to [None] and is sorted into the deterministic rendering
+    order. *)
+val make :
+  ?intervals:(Urm_relalg.Value.t array * (float * float)) list ->
+  answer:Answer.t ->
+  timings:timings ->
+  source_operators:int ->
+  rows_produced:int ->
+  groups:int ->
+  unit ->
+  t
 
 (** [record_metrics m r] records one completed run into the metrics scope
     [m]: the ["runs"] and ["groups"] counters plus one ["phase.*"] timer
@@ -32,7 +50,19 @@ val record_metrics : Urm_obs.Metrics.t -> t -> unit
     [true]) keeps only the schedule-independent fields — the answer and the
     group count — dropping timings and operator/row counters, which differ
     across equivalent runs (e.g. different [--jobs]); the determinism
-    regression test compares that rendering byte-for-byte. *)
+    regression test compares that rendering byte-for-byte.
+    When [intervals] is present it renders as
+    [{"intervals": [{"tuple": […], "lo": l, "hi": h}, …]}] inside the
+    stable fields; when absent the field is omitted entirely, so reports
+    from the exact algorithms render byte-identically to the pre-interval
+    schema. *)
 val to_json : ?volatile:bool -> t -> Urm_util.Json.t
+
+(** [intervals_of_json json] parses the ["intervals"] member of a rendered
+    report back into the {!t.intervals} representation ([None] when the
+    field is absent or [null]) — the round-trip inverse of {!to_json}'s
+    interval rendering.  Raises [Failure] on a malformed field. *)
+val intervals_of_json :
+  Urm_util.Json.t -> (Urm_relalg.Value.t array * (float * float)) list option
 
 val pp : Format.formatter -> t -> unit

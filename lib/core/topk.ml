@@ -103,6 +103,7 @@ let run ?(strategy = Eunit.Sef) ?seed ?use_memo
   let report =
     {
       Report.answer;
+      intervals = None;
       timings = { Report.rewrite; plan = 0.; evaluate; aggregate = 0. };
       source_operators = ctrs.Eval.operators;
       rows_produced = ctrs.Eval.rows_produced;

@@ -24,6 +24,7 @@ let finish m ~answer ~rewrite ~plan ~evaluate ~aggregate ~ops ~rows ~groups =
   let report =
     {
       Report.answer;
+      intervals = None;
       timings = { Report.rewrite; plan; evaluate; aggregate };
       source_operators = ops;
       rows_produced = rows;

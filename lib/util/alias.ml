@@ -1,0 +1,70 @@
+(* Walker-Vose alias method: O(n) construction, O(1) per draw.
+
+   Construction partitions the normalised weights into "small" (< 1/n) and
+   "large" (≥ 1/n) columns and pairs each small column with a large donor,
+   so every column holds at most two outcomes: itself (with probability
+   [prob.(i)]) and its alias.  A draw picks a uniform column and flips the
+   column's biased coin — two PRNG draws, independent of n. *)
+
+type t = {
+  prob : float array;  (* acceptance probability of column i *)
+  alias : int array;  (* donor outcome when the coin rejects *)
+}
+
+let length t = Array.length t.prob
+
+let create weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Alias.create: empty weights";
+  let total = Array.fold_left ( +. ) 0. weights in
+  if not (total > 0.) then invalid_arg "Alias.create: weights must sum > 0";
+  Array.iter
+    (fun w ->
+      if not (w >= 0.) then invalid_arg "Alias.create: negative weight")
+    weights;
+  let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+  let prob = Array.make n 1. in
+  let alias = Array.init n (fun i -> i) in
+  (* Worklists as explicit stacks over index arrays (no allocation per
+     element beyond the two arrays). *)
+  let small = Array.make n 0 and large = Array.make n 0 in
+  let ns = ref 0 and nl = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if s < 1. then begin
+        small.(!ns) <- i;
+        incr ns
+      end
+      else begin
+        large.(!nl) <- i;
+        incr nl
+      end)
+    scaled;
+  while !ns > 0 && !nl > 0 do
+    decr ns;
+    let s = small.(!ns) in
+    let l = large.(!nl - 1) in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    if scaled.(l) < 1. then begin
+      decr nl;
+      small.(!ns) <- l;
+      incr ns
+    end
+  done;
+  (* Leftovers (either list) sit at exactly 1 up to rounding. *)
+  while !nl > 0 do
+    decr nl;
+    prob.(large.(!nl)) <- 1.
+  done;
+  while !ns > 0 do
+    decr ns;
+    prob.(small.(!ns)) <- 1.
+  done;
+  { prob; alias }
+
+let draw t rng =
+  let n = Array.length t.prob in
+  let i = Prng.int rng n in
+  if Prng.float rng < t.prob.(i) then i else t.alias.(i)

@@ -51,5 +51,17 @@ let mappings p target ~h =
     Hashtbl.replace p.mapping_cache (name, h) ms;
     ms
 
+let synthetic_mappings p target ~h =
+  let name = "synthetic:" ^ target.Urm_relalg.Schema.sname in
+  match Hashtbl.find_opt p.mapping_cache (name, h) with
+  | Some ms -> ms
+  | None ->
+    let cands =
+      Urm_matcher.Match.candidates ~source:Urm_tpch.Gen.schema ~target ()
+    in
+    let ms = Urm.Mapgen.synthetic ~seed:p.seed ~h cands in
+    Hashtbl.replace p.mapping_cache (name, h) ms;
+    ms
+
 let run p alg ~query ~target ~h =
   Urm.Algorithms.run alg (ctx p target) query (mappings p target ~h)

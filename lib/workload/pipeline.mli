@@ -25,6 +25,12 @@ val ctx :
     a larger cached [h] also serves smaller requests by prefix). *)
 val mappings : t -> Urm_relalg.Schema.t -> h:int -> Urm.Mapping.t list
 
+(** [synthetic_mappings p target ~h] a huge mapping set (h up to 10⁶) for
+    the anytime experiments, built with {!Urm.Mapgen.synthetic} from the
+    matcher's candidates (memoised like {!mappings}; may return fewer than
+    [h] distinct mappings).  Deterministic from the pipeline seed. *)
+val synthetic_mappings : t -> Urm_relalg.Schema.t -> h:int -> Urm.Mapping.t list
+
 (** [run p alg ~query ~target ~h] convenience wrapper: build the context and
     mappings, then run the algorithm. *)
 val run :

@@ -1,0 +1,174 @@
+(* End-to-end smoke test for the anytime [approx] service op (dune @smoke,
+   part of @runtest): boot a server on an ephemeral loopback port, open a
+   small fixed-seed workload session, and check that
+
+   - the estimate mode stops for a declared reason, reports intervals, and
+     every exact answer probability (from a "query"/basic run of the same
+     query) falls inside the matching interval,
+   - the top-k and threshold modes answer with their mode-specific fields,
+   - an exact replay of an approx request is served from the answer cache
+     ([cached] flips to true) with an otherwise identical payload,
+   - budget validation rejects nonsense (delta ≥ 1) as a bad request.
+
+   Exit code 0 on success, 1 with a diagnostic on any failure. *)
+
+module Json = Urm_util.Json
+module Client = Urm_service.Client
+module Server = Urm_service.Server
+
+let failures = ref 0
+
+let check label ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "smoke-approx: FAIL %s\n%!" label
+  end
+
+let get_exn label = function
+  | Ok v -> v
+  | Error (code, msg) ->
+    incr failures;
+    Printf.eprintf "smoke-approx: FAIL %s: %s: %s\n%!" label code msg;
+    Json.Null
+
+let member name json = Option.value ~default:Json.Null (Json.member name json)
+let str name json = match member name json with Json.Str s -> s | _ -> ""
+let num name json = match member name json with Json.Num f -> f | _ -> Float.nan
+
+let arr name json =
+  match member name json with Json.Arr l -> l | _ -> []
+
+(* tuple-as-text key for matching answers against intervals *)
+let tuple_key json = Json.to_string (member "tuple" json)
+
+let () =
+  let server =
+    Server.start
+      { Server.default_config with port = 0; workers = 2; queue_depth = 16 }
+  in
+  let port = Server.port server in
+  let c = Client.connect ~port () in
+  let session = ("session", Json.Str "smoke-approx") in
+  let opened =
+    get_exn "open-session"
+      (Client.call c ~op:"open-session"
+         [
+           session;
+           ("target", Json.Str "Excel");
+           ("seed", Json.Num 7.);
+           ("scale", Json.Num 0.01);
+           ("h", Json.Num 8.);
+         ])
+  in
+  check "session created" (member "created" opened = Json.Bool true);
+
+  (* Exact baseline for Q1 over the same session mappings. *)
+  let exact =
+    get_exn "query/basic"
+      (Client.call c ~op:"query"
+         [ session; ("query", Json.Str "Q1"); ("algorithm", Json.Str "basic") ])
+  in
+
+  (* Estimate mode: a generous fixed budget at a small delta.  h = 8 worlds
+     sampled 20k times observe every answer tuple, so each exact probability
+     must sit inside its Wilson interval. *)
+  let approx_params =
+    [
+      session;
+      ("query", Json.Str "Q1");
+      ("samples", Json.Num 20_000.);
+      ("delta", Json.Num 0.001);
+      ("epsilon", Json.Num 0.005);
+      ("seed", Json.Num 42.);
+    ]
+  in
+  let est = get_exn "approx/estimate" (Client.call c ~op:"approx" approx_params) in
+  check "estimate mode" (str "mode" est = "estimate");
+  check "stop reason declared"
+    (match str "stop_reason" est with
+    | "converged" | "samples-exhausted" -> true
+    | _ -> false);
+  check "samples spent" (num "samples" est > 0.);
+  check "cold run" (member "cached" est = Json.Bool false);
+  let intervals = arr "intervals" est in
+  check "intervals present" (intervals <> []);
+  List.iter
+    (fun iv ->
+      let lo = num "lo" iv and hi = num "hi" iv in
+      check "interval well-formed" (0. <= lo && lo <= hi && hi <= 1.))
+    intervals;
+  let exact_answers = arr "answers" exact in
+  check "baseline non-empty" (exact_answers <> []);
+  List.iter
+    (fun a ->
+      let p = num "prob" a in
+      match
+        List.find_opt (fun iv -> String.equal (tuple_key iv) (tuple_key a)) intervals
+      with
+      | None -> check "exact tuple observed by the sampler" false
+      | Some iv ->
+        (* 1e-9 slack: the exact probability is a float sum over mappings
+           and can overshoot a certain tuple's 1.0 by an ulp *)
+        let lo = num "lo" iv -. 1e-9 and hi = num "hi" iv +. 1e-9 in
+        check "exact prob inside interval" (lo <= p && p <= hi))
+    exact_answers;
+  let nlo = num "lo" (member "null_interval" est)
+  and nhi = num "hi" (member "null_interval" est) in
+  check "null interval covers exact null prob"
+    (nlo <= num "null_prob" exact && num "null_prob" exact <= nhi);
+
+  (* Replaying the identical request must come back from the answer cache
+     with the same payload modulo the cached flag. *)
+  let strip_cached json =
+    match json with
+    | Json.Obj fields ->
+      Json.Obj (List.filter (fun (n, _) -> n <> "cached") fields)
+    | other -> other
+  in
+  let replay = get_exn "approx replay" (Client.call c ~op:"approx" approx_params) in
+  check "replay cached" (member "cached" replay = Json.Bool true);
+  check "replay identical"
+    (String.equal
+       (Json.to_string (strip_cached est))
+       (Json.to_string (strip_cached replay)));
+
+  (* Top-k and threshold modes. *)
+  let topk =
+    get_exn "approx/topk"
+      (Client.call c ~op:"approx"
+         (approx_params @ [ ("k", Json.Num 3.) ]))
+  in
+  check "topk mode" (str "mode" topk = "topk");
+  check "topk k echoed" (num "k" topk = 3.);
+  check "topk answer bounded" (List.length (arr "answers" topk) <= 3);
+  check "topk stopped_early declared"
+    (match member "stopped_early" topk with Json.Bool _ -> true | _ -> false);
+
+  let thresh =
+    get_exn "approx/threshold"
+      (Client.call c ~op:"approx"
+         (approx_params @ [ ("tau", Json.Num 0.3) ]))
+  in
+  check "threshold mode" (str "mode" thresh = "threshold");
+  check "threshold undecided counted" (num "undecided" thresh >= 0.);
+  List.iter
+    (fun iv -> check "threshold answers clear tau" (num "lo" iv >= 0.3))
+    (arr "intervals" thresh);
+
+  (* Budget validation surfaces as bad_request, not a dead worker. *)
+  (match
+     Client.call c ~op:"approx"
+       [ session; ("query", Json.Str "Q1"); ("delta", Json.Num 1.5) ]
+   with
+  | Error ("bad_request", _) -> ()
+  | Error (code, _) -> check ("delta=1.5 rejected as bad_request, got " ^ code) false
+  | Ok _ -> check "delta=1.5 rejected" false);
+
+  ignore (Client.call c ~op:"shutdown" []);
+  Client.close c;
+  Server.stop server;
+  if !failures > 0 then begin
+    Printf.eprintf "smoke-approx: %d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  print_endline "smoke-approx: OK"

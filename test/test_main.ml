@@ -19,4 +19,5 @@ let () =
       ("par", Test_par.suite);
       ("differential", Test_differential.suite);
       ("plan", Test_plan.suite);
+      ("anytime", Test_anytime.suite);
     ]
