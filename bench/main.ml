@@ -453,6 +453,168 @@ let run_anytime quick =
   Format.printf "@.wrote anytime sweep to %s@.@." anytime_file
 
 (* ------------------------------------------------------------------ *)
+(* Part 1e: the incremental-maintenance sweep (id "incr").
+
+   The headline claim of lib/incr: after a mutation batch, patching the
+   maintained answer by delta evaluation (State.catch_up) beats
+   re-evaluating the query from scratch, and the patched answer stays
+   within Prob.eps of the fresh one at every benchmarked point — any
+   inequality makes the harness exit non-zero.  Per h × batch size,
+   commits [runs] epochs of fresh-key tuple inserts into a relation the
+   query reads (inserts elsewhere would be skipped by every shape, timing
+   nothing) and times the catch-up against a full Basic re-evaluation
+   over the new head.  Written to BENCH_incr.json. *)
+
+let incr_file = "BENCH_incr.json"
+
+let run_incr quick =
+  let module E = Urm_workload.Experiments in
+  let module Vcatalog = Urm_incr.Vcatalog in
+  let module State = Urm_incr.State in
+  let module Mutation = Urm_incr.Mutation in
+  let module Json = Urm_util.Json in
+  let cfg = if quick then E.quick else E.default in
+  let runs = if quick then 2 else 3 in
+  let h_sweep = if quick then [ 8; 32 ] else [ 100; 300; 500 ] in
+  let batch_sizes = [ 1; 10; 100 ] in
+  let target, q = Urm_workload.Queries.default in
+  let p = Urm_workload.Pipeline.create ~seed:cfg.E.seed ~scale:cfg.E.scale () in
+  let mismatch = ref false in
+  let single_insert = ref [] in
+  Format.printf "=== incremental maintenance (Q4, basic) ===@.@.";
+  let rows =
+    List.concat_map
+      (fun h ->
+        let ms = Urm_workload.Pipeline.mappings p target ~h in
+        let ctx = Urm_workload.Pipeline.ctx p target in
+        let vcat = Vcatalog.create ~ctx ~mappings:ms () in
+        let head0 = Vcatalog.head vcat in
+        let rel =
+          match State.query_deps head0 q with
+          | r :: _ -> r
+          | [] -> failwith "incr bench: Q4 reads no stored relation"
+        in
+        let fresh_key = ref 0 in
+        let make_batch head n =
+          let stored =
+            Urm_relalg.Catalog.find head.Vcatalog.ctx.Urm.Ctx.catalog rel
+          in
+          List.init n (fun i ->
+              let row =
+                Array.copy
+                  stored.Urm_relalg.Relation.rows.(i
+                                                   mod Urm_relalg.Relation
+                                                       .cardinality stored)
+              in
+              incr fresh_key;
+              (match row.(0) with
+              | Urm_relalg.Value.Int _ ->
+                row.(0) <- Urm_relalg.Value.Int (10_000_000 + !fresh_key)
+              | _ -> ());
+              Mutation.Insert { rel; row })
+        in
+        (* Build the maintained state once per h; one fresh evaluation
+           warms the plan cache so the full-reeval side is not charged
+           compile time either. *)
+        let t0 = Urm_util.Timer.now () in
+        let state = State.build head0 q in
+        let build_secs = Urm_util.Timer.now () -. t0 in
+        ignore
+          (E.run_alg cfg Urm.Algorithms.Basic head0.Vcatalog.ctx q
+             head0.Vcatalog.mappings);
+        List.map
+          (fun n ->
+            let d_sum = ref 0. and f_sum = ref 0. in
+            for _ = 1 to runs do
+              let head = Vcatalog.head vcat in
+              let batch = make_batch head n in
+              (match Vcatalog.commit vcat batch with
+              | Ok _ -> ()
+              | Error msg -> failwith ("incr bench: commit failed: " ^ msg));
+              let t0 = Urm_util.Timer.now () in
+              let _, status = State.catch_up vcat state in
+              d_sum := !d_sum +. (Urm_util.Timer.now () -. t0);
+              (match status with
+              | `Patched -> ()
+              | `Current | `Rebuilt ->
+                failwith "incr bench: expected a delta catch-up");
+              let head = Vcatalog.head vcat in
+              let t1 = Urm_util.Timer.now () in
+              let report =
+                E.run_alg cfg Urm.Algorithms.Basic head.Vcatalog.ctx q
+                  head.Vcatalog.mappings
+              in
+              f_sum := !f_sum +. (Urm_util.Timer.now () -. t1);
+              if
+                not
+                  (Urm.Answer.equal ~eps:Urm.Prob.eps
+                     report.Urm.Report.answer (State.answer state))
+              then mismatch := true
+            done;
+            let delta_secs = !d_sum /. float_of_int runs in
+            let full_secs = !f_sum /. float_of_int runs in
+            let speedup = full_secs /. Float.max delta_secs 1e-9 in
+            if n = 1 then single_insert := (h, speedup) :: !single_insert;
+            Format.printf
+              "  h=%-5d batch=%-4d  delta %9.6fs  full %8.4fs  speedup \
+               %8.1fx%s@."
+              h n delta_secs full_secs speedup
+              (if !mismatch then "  ANSWER MISMATCH" else "");
+            Json.Obj
+              [
+                ("id", Json.Str "incr");
+                ("query", Json.Str "Q4");
+                ("algorithm", Json.Str "basic");
+                ("h", Json.Num (float_of_int h));
+                ("batch", Json.Num (float_of_int n));
+                ("relation", Json.Str rel);
+                ("build_seconds", Json.Num build_secs);
+                ("delta_seconds", Json.Num delta_secs);
+                ("full_seconds", Json.Num full_secs);
+                ("speedup", Json.Num speedup);
+                ("equal_within_eps", Json.Bool (not !mismatch));
+              ])
+          batch_sizes)
+      h_sweep
+  in
+  (* The headline: single-tuple-insert batches at the largest h. *)
+  let meets_5x =
+    List.for_all
+      (fun (h, s) -> h < 300 || s >= 5.)
+      !single_insert
+  in
+  Format.printf "@.  single-insert speedups: %s → %s@."
+    (String.concat ", "
+       (List.rev_map
+          (fun (h, s) -> Printf.sprintf "h=%d %.1fx" h s)
+          !single_insert))
+    (if meets_5x then "≥5x at h≥300" else "BELOW the 5x target at h≥300");
+  let json =
+    Json.Obj
+      [
+        ( "config",
+          Json.Obj
+            [
+              ("seed", Json.Num (float_of_int cfg.E.seed));
+              ("scale", Json.Num cfg.E.scale);
+              ("runs", Json.Num (float_of_int runs));
+            ] );
+        ("meets_5x_single_insert", Json.Bool meets_5x);
+        ("rows", Json.Arr rows);
+      ]
+  in
+  let oc = open_out incr_file in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote incremental-maintenance sweep to %s@.@." incr_file;
+  if !mismatch then begin
+    Format.eprintf
+      "incr sweep: a patched answer diverged from the fresh evaluation@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one per table/figure. *)
 
 let micro_tests () =
@@ -554,4 +716,5 @@ let () =
   if not skip_tables && wanted only "par" then run_par quick;
   if not skip_tables && wanted only "eval" then run_eval quick engine;
   if not skip_tables && wanted only "anytime" then run_anytime quick;
+  if not skip_tables && wanted only "incr" then run_incr quick;
   if not skip_bechamel then run_bechamel only

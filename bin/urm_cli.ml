@@ -765,6 +765,186 @@ let request_cmd =
       const run $ port_t $ op_t $ arg_t $ session_t $ target_t $ seed_t $ scale_t
       $ h_t $ algorithm_t $ answers_t $ k_t $ tau_t $ delta_t $ samples_t $ sql_t)
 
+let mutate_cmd =
+  let module Json = Urm_util.Json in
+  (* One comma-separated row literal: each token tries int, then float,
+     then (bare "null") NULL, and falls back to a string. *)
+  let parse_row spec =
+    match String.index_opt spec ':' with
+    | None -> Error (Printf.sprintf "%S: expected REL:v1,v2,..." spec)
+    | Some i ->
+      let rel = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let value tok =
+        let tok = String.trim tok in
+        match int_of_string_opt tok with
+        | Some n -> Json.Num (float_of_int n)
+        | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Json.Num f
+          | None -> if String.equal tok "null" then Json.Null else Json.Str tok)
+      in
+      Ok (rel, List.map value (String.split_on_char ',' rest))
+  in
+  let parse_reweight spec =
+    match String.index_opt spec ':' with
+    | None -> Error (Printf.sprintf "%S: expected ID:PROB" spec)
+    | Some i -> (
+      let id = String.sub spec 0 i in
+      let prob = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match (int_of_string_opt id, float_of_string_opt prob) with
+      | Some id, Some prob -> Ok (id, prob)
+      | _ -> Error (Printf.sprintf "%S: expected ID:PROB" spec))
+  in
+  (* PROB:T.a=S.b,T.c=S.d — the new mapping's probability and its
+     target-to-source correspondence pairs. *)
+  let parse_add spec =
+    match String.index_opt spec ':' with
+    | None -> Error (Printf.sprintf "%S: expected PROB:T.a=S.b,..." spec)
+    | Some i -> (
+      match float_of_string_opt (String.sub spec 0 i) with
+      | None -> Error (Printf.sprintf "%S: expected PROB:T.a=S.b,..." spec)
+      | Some prob -> (
+        let pairs =
+          String.split_on_char ',' (String.sub spec (i + 1) (String.length spec - i - 1))
+          |> List.map (fun p ->
+                 match String.index_opt p '=' with
+                 | None -> Error (Printf.sprintf "%S: expected T.attr=S.attr" p)
+                 | Some j ->
+                   Ok
+                     ( String.trim (String.sub p 0 j),
+                       String.trim (String.sub p (j + 1) (String.length p - j - 1))
+                     ))
+        in
+        match List.find_opt Result.is_error pairs with
+        | Some (Error msg) -> Error msg
+        | _ -> Ok (prob, List.map Result.get_ok pairs)))
+  in
+  let run port session inserts deletes reweights prunes adds =
+    let ( let* ) = Result.bind in
+    let collect f specs k =
+      List.fold_left
+        (fun acc spec ->
+          let* acc = acc in
+          let* v = f spec in
+          Ok (k v :: acc))
+        (Ok []) specs
+      |> Result.map List.rev
+    in
+    let row_mutation op (rel, row) =
+      Json.Obj [ ("op", Json.Str op); ("rel", Json.Str rel); ("row", Json.Arr row) ]
+    in
+    let mutations =
+      let* inserts = collect parse_row inserts (row_mutation "insert") in
+      let* deletes = collect parse_row deletes (row_mutation "delete") in
+      let* reweights =
+        collect parse_reweight reweights (fun (id, prob) ->
+            Json.Obj
+              [
+                ("op", Json.Str "reweight");
+                ("mapping", Json.Num (float_of_int id));
+                ("prob", Json.Num prob);
+              ])
+      in
+      let prunes =
+        List.map
+          (fun id ->
+            Json.Obj
+              [ ("op", Json.Str "prune"); ("mapping", Json.Num (float_of_int id)) ])
+          prunes
+      in
+      let* adds =
+        collect parse_add adds (fun (prob, pairs) ->
+            Json.Obj
+              [
+                ("op", Json.Str "add-mapping");
+                ( "pairs",
+                  Json.Arr
+                    (List.map
+                       (fun (t, s) -> Json.Arr [ Json.Str t; Json.Str s ])
+                       pairs) );
+                ("prob", Json.Num prob);
+                ("score", Json.Num prob);
+              ])
+      in
+      Ok (inserts @ deletes @ reweights @ prunes @ adds)
+    in
+    match mutations with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok [] ->
+      prerr_endline
+        "nothing to do: give --insert/--delete/--reweight/--prune/--add-mapping";
+      exit 1
+    | Ok mutations -> (
+      match Urm_service.Client.connect ~port () with
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "cannot connect to 127.0.0.1:%d: %s@." port
+          (Unix.error_message e);
+        exit 1
+      | client ->
+        let result =
+          Urm_service.Client.call client ~op:"mutate"
+            [ ("session", Json.Str session); ("mutations", Json.Arr mutations) ]
+        in
+        Urm_service.Client.close client;
+        (match result with
+        | Ok json -> print_endline (Json.to_string json)
+        | Error (code, msg) ->
+          Format.eprintf "%s: %s@." code msg;
+          exit 1))
+  in
+  let session_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "session" ] ~doc:"Session name to mutate.")
+  in
+  let inserts_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "insert" ] ~docv:"REL:V1,V2,..."
+          ~doc:"Insert a tuple (repeatable); values parse as int, float, \
+                null, or string.")
+  in
+  let deletes_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "delete" ] ~docv:"REL:V1,V2,..."
+          ~doc:"Delete one occurrence of a tuple (repeatable); fails when \
+                absent.")
+  in
+  let reweights_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "reweight" ] ~docv:"ID:PROB"
+          ~doc:"Set Pr(m_ID) (repeatable); the mapping-set mass is not \
+                renormalised.")
+  in
+  let prunes_t =
+    Arg.(
+      value & opt_all int []
+      & info [ "prune" ] ~docv:"ID" ~doc:"Remove mapping ID (repeatable).")
+  in
+  let adds_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "add-mapping" ] ~docv:"PROB:T.a=S.b,..."
+          ~doc:"Add a mapping with the given probability and \
+                target=source correspondence pairs (repeatable).")
+  in
+  let doc =
+    "Commit a mutation batch to a session of a running urm service: tuple \
+     inserts/deletes and mapping reweights/prunes/adds, applied atomically \
+     in one epoch bump (flag groups apply in the order insert, delete, \
+     reweight, prune, add-mapping)."
+  in
+  Cmd.v (Cmd.info "mutate" ~doc)
+    Term.(
+      const run $ port_t $ session_t $ inserts_t $ deletes_t $ reweights_t
+      $ prunes_t $ adds_t)
+
 let () =
   let doc = "probabilistic queries over uncertain schema matching (ICDE 2012)" in
   let info = Cmd.info "urm" ~version:"1.0.0" ~doc in
@@ -774,5 +954,5 @@ let () =
           [
             generate_cmd; match_cmd; mappings_cmd; query_cmd; plan_cmd; topk_cmd;
             threshold_cmd; approx_cmd; export_cmd; save_mappings_cmd;
-            experiment_cmd; serve_cmd; request_cmd;
+            experiment_cmd; serve_cmd; request_cmd; mutate_cmd;
           ]))

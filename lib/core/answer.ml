@@ -47,6 +47,23 @@ let merge_into t other =
   Hashtbl.iter (fun tuple r -> add t tuple !r) other.rows;
   t.null_mass <- t.null_mass +. other.null_mass
 
+(* Delta maintenance patches buckets with signed increments: a tuple whose
+   contributions were fully retracted is left holding the float residue of
+   [+p … -p] cancellation (≈ ulp-sized, possibly negative) rather than
+   disappearing.  [equal] matches buckets one-to-one, so such ghosts would
+   make a patched answer differ from a fresh evaluation even though every
+   probability agrees within eps.  The epsilon floor removes them; genuine
+   buckets always carry at least one mapping's probability, which in any
+   normalised mapping set is orders of magnitude above {!Prob.eps}. *)
+let compact ?(eps = Prob.eps) t =
+  let doomed =
+    Hashtbl.fold
+      (fun tuple r acc -> if Float.abs !r <= eps then tuple :: acc else acc)
+      t.rows []
+  in
+  List.iter (Hashtbl.remove t.rows) doomed;
+  if t.null_mass < 0. && t.null_mass >= -.eps then t.null_mass <- 0.
+
 let compare_tuples a b =
   let rec go i =
     if i >= Array.length a then 0

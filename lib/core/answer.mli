@@ -37,6 +37,15 @@ val merge_into : t -> t -> unit
 
 val null_prob : t -> float
 
+(** [compact ?eps t] removes buckets whose accumulated probability is within
+    [eps] (default {!Prob.eps}) of zero and clamps an eps-negative θ back to
+    0.  Incremental maintenance calls this after every mutation batch: a
+    retracted tuple's bucket holds only float cancellation residue, and
+    dropping it restores the bucket census a fresh evaluation would
+    produce, so {!equal} keeps holding under repeated add/subtract
+    cycles. *)
+val compact : ?eps:float -> t -> unit
+
 (** Distinct tuples with their probabilities, sorted by probability
     descending (ties broken by tuple order, deterministically). *)
 val to_list : t -> (Urm_relalg.Value.t array * float) list

@@ -19,6 +19,14 @@ let make ?(engine = Urm_relalg.Compile.Vectorized) ~catalog ~source ~target () =
 
 let engine t = t.engine
 
+(* Rebinding the catalog keeps the compile env and plan cache: plans
+   resolve [Base] leaves against the catalog passed at execution time, and
+   compiled column layouts only depend on schemas, which copy-on-write
+   derivation preserves.  Cardinality statistics consulted at compile time
+   keep describing the original instance — join orders chosen then remain
+   valid (if increasingly approximate) as the data drifts. *)
+let with_catalog t catalog = { t with catalog }
+
 let plan_of t e =
   let compile () = Urm_relalg.Compile.compile t.compile_env e in
   (* Mat fingerprints name ephemeral relation ids — one-shot expressions

@@ -29,6 +29,15 @@ val make :
 
 val engine : t -> Urm_relalg.Compile.engine
 
+(** [with_catalog t cat] the same context evaluating over [cat] — the
+    versioned-catalog commit path.  The plan cache and compile env are
+    shared with [t]: plans bind [Base] leaves at execution time, so they
+    stay valid across copy-on-write catalog versions (which never change a
+    relation's header), and the memoized hash-join build tables key on the
+    catalog pointer, so a new version automatically rebuilds its own.
+    Compile-time cardinality statistics keep describing [t]'s instance. *)
+val with_catalog : t -> Urm_relalg.Catalog.t -> t
+
 (** [eval ?ctrs t e] evaluates [e] through the context's engine.
     [Compiled] looks the plan up in the context's plan cache (expressions
     embedding [Mat] nodes compile uncached — their fingerprints are

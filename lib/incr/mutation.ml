@@ -1,0 +1,185 @@
+module Json = Urm_util.Json
+module Value = Urm_relalg.Value
+
+type t =
+  | Insert of { rel : string; row : Value.t array }
+  | Delete of { rel : string; row : Value.t array }
+  | Reweight of { mapping : int; prob : float }
+  | Prune of { mapping : int }
+  | Add_mapping of {
+      id : int option;
+      pairs : (string * string) list;
+      prob : float;
+      score : float;
+    }
+
+type batch = t list
+
+let touched_relations batch =
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (function
+      | Insert { rel; _ } | Delete { rel; _ } ->
+        if Hashtbl.mem seen rel then None
+        else begin
+          Hashtbl.add seen rel ();
+          Some rel
+        end
+      | Reweight _ | Prune _ | Add_mapping _ -> None)
+    batch
+
+let touches_mappings =
+  List.exists (function
+    | Reweight _ | Prune _ | Add_mapping _ -> true
+    | Insert _ | Delete _ -> false)
+
+let has_deletes = List.exists (function Delete _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* JSON (the wire form of the service's "mutate" op).
+
+   Row values use the scalar convention of the query protocol: integral
+   numbers parse as [Int].  A float-typed column receiving such a value is
+   coerced back by {!Vcatalog.commit} against the stored column's type, so
+   the round trip through JSON is lossless for TPC-H data. *)
+
+let value_to_json = function
+  | Value.Null -> Json.Null
+  | Value.Int i -> Json.Num (float_of_int i)
+  | Value.Float f -> Json.Num f
+  | Value.Str s -> Json.Str s
+
+let value_of_json = function
+  | Json.Null -> Ok Value.Null
+  | Json.Num f when Float.is_integer f && Float.abs f < 1e15 ->
+    Ok (Value.Int (int_of_float f))
+  | Json.Num f -> Ok (Value.Float f)
+  | Json.Str s -> Ok (Value.Str s)
+  | _ -> Error "row values must be scalars"
+
+let row_to_json row = Json.Arr (List.map value_to_json (Array.to_list row))
+
+let to_json = function
+  | Insert { rel; row } ->
+    Json.Obj [ ("op", Json.Str "insert"); ("rel", Json.Str rel); ("row", row_to_json row) ]
+  | Delete { rel; row } ->
+    Json.Obj [ ("op", Json.Str "delete"); ("rel", Json.Str rel); ("row", row_to_json row) ]
+  | Reweight { mapping; prob } ->
+    Json.Obj
+      [
+        ("op", Json.Str "reweight");
+        ("mapping", Json.Num (float_of_int mapping));
+        ("prob", Json.Num prob);
+      ]
+  | Prune { mapping } ->
+    Json.Obj [ ("op", Json.Str "prune"); ("mapping", Json.Num (float_of_int mapping)) ]
+  | Add_mapping { id; pairs; prob; score } ->
+    Json.Obj
+      ((match id with
+       | Some i -> [ ("id", Json.Num (float_of_int i)) ]
+       | None -> [])
+      @ [
+          ("op", Json.Str "add-mapping");
+          ( "pairs",
+            Json.Arr
+              (List.map (fun (t, s) -> Json.Arr [ Json.Str t; Json.Str s ]) pairs) );
+          ("prob", Json.Num prob);
+          ("score", Json.Num score);
+        ])
+
+let batch_to_json batch = Json.Arr (List.map to_json batch)
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let row_of_json = function
+  | Json.Arr vs ->
+    let* values = map_result value_of_json vs in
+    Ok (Array.of_list values)
+  | _ -> Error "\"row\" must be an array of scalars"
+
+let str_field name json =
+  match Json.member name json with
+  | Some (Json.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+let num_field name json =
+  match Json.member name json with
+  | Some (Json.Num f) -> Ok f
+  | _ -> Error (Printf.sprintf "missing numeric field %S" name)
+
+let int_field name json =
+  let* f = num_field name json in
+  if Float.is_integer f then Ok (int_of_float f)
+  else Error (Printf.sprintf "field %S must be an integer" name)
+
+let row_mutation make json =
+  let* rel = str_field "rel" json in
+  match Json.member "row" json with
+  | Some row_json ->
+    let* row = row_of_json row_json in
+    Ok (make rel row)
+  | None -> Error "missing \"row\""
+
+let pairs_of_json = function
+  | Json.Arr ps ->
+    map_result
+      (function
+        | Json.Arr [ Json.Str t; Json.Str s ] -> Ok (t, s)
+        | _ -> Error "\"pairs\" entries must be [target, source] string pairs")
+      ps
+  | _ -> Error "\"pairs\" must be an array"
+
+let of_json json =
+  let* op = str_field "op" json in
+  match op with
+  | "insert" -> row_mutation (fun rel row -> Insert { rel; row }) json
+  | "delete" -> row_mutation (fun rel row -> Delete { rel; row }) json
+  | "reweight" ->
+    let* mapping = int_field "mapping" json in
+    let* prob = num_field "prob" json in
+    Ok (Reweight { mapping; prob })
+  | "prune" ->
+    let* mapping = int_field "mapping" json in
+    Ok (Prune { mapping })
+  | "add-mapping" ->
+    let* pairs =
+      match Json.member "pairs" json with
+      | Some p -> pairs_of_json p
+      | None -> Error "missing \"pairs\""
+    in
+    let* prob = num_field "prob" json in
+    let score =
+      match Json.member "score" json with Some (Json.Num f) -> f | _ -> prob
+    in
+    let id =
+      match Json.member "id" json with
+      | Some (Json.Num f) when Float.is_integer f -> Some (int_of_float f)
+      | _ -> None
+    in
+    Ok (Add_mapping { id; pairs; prob; score })
+  | other -> Error ("unknown mutation op " ^ other)
+
+let batch_of_json = function
+  | Json.Arr ms -> map_result of_json ms
+  | _ -> Error "\"mutations\" must be an array"
+
+let pp ppf = function
+  | Insert { rel; row } ->
+    Format.fprintf ppf "insert %s(%s)" rel
+      (String.concat ", " (Array.to_list (Array.map Value.to_string row)))
+  | Delete { rel; row } ->
+    Format.fprintf ppf "delete %s(%s)" rel
+      (String.concat ", " (Array.to_list (Array.map Value.to_string row)))
+  | Reweight { mapping; prob } -> Format.fprintf ppf "reweight m%d := %g" mapping prob
+  | Prune { mapping } -> Format.fprintf ppf "prune m%d" mapping
+  | Add_mapping { id; pairs; prob; _ } ->
+    Format.fprintf ppf "add-mapping%s (%d pairs, p=%g)"
+      (match id with Some i -> Printf.sprintf " m%d" i | None -> "")
+      (List.length pairs) prob

@@ -1,0 +1,49 @@
+(** Mutations over a session's uncertain-matching state: tuple-level changes
+    to the source instance [D] and probability-level changes to the possible
+    mapping set [M].
+
+    A {!batch} is applied atomically by {!Vcatalog.commit}: all mutations
+    take effect in one epoch bump, and delta evaluation ({!State.apply})
+    patches maintained answers against the batch as a whole.  Within a
+    batch, data mutations are applied to relations in list order (a delete
+    may remove a row inserted earlier in the same batch) and mapping
+    mutations likewise; the two groups commute — both orders describe the
+    same final instance. *)
+
+type t =
+  | Insert of { rel : string; row : Urm_relalg.Value.t array }
+  | Delete of { rel : string; row : Urm_relalg.Value.t array }
+      (** removes one occurrence of [row]; committing fails when absent *)
+  | Reweight of { mapping : int; prob : float }
+      (** set [Pr(m_id)]; probabilities are {e not} renormalised — the
+          caller owns the invariant that the set's total mass stays ≤ 1 *)
+  | Prune of { mapping : int }
+  | Add_mapping of {
+      id : int option;
+          (** [None] until committed; {!Vcatalog.commit} assigns the next
+              free id and records the resolved form in its history *)
+      pairs : (string * string) list;
+      prob : float;
+      score : float;
+    }
+
+type batch = t list
+
+(** Distinct relation names touched by inserts/deletes, in first-touch
+    order. *)
+val touched_relations : batch -> string list
+
+(** Whether the batch changes the mapping set (reweight/prune/add). *)
+val touches_mappings : batch -> bool
+
+(** Whether the batch deletes any tuple.  Insert-only data change is the
+    monotone case where delta evaluation never needs to retract tuples;
+    deletes force touched query shapes onto the re-evaluate-and-diff
+    path. *)
+val has_deletes : batch -> bool
+
+val to_json : t -> Urm_util.Json.t
+val of_json : Urm_util.Json.t -> (t, string) result
+val batch_to_json : batch -> Urm_util.Json.t
+val batch_of_json : Urm_util.Json.t -> (batch, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,267 @@
+open Urm_relalg
+
+type snapshot = {
+  epoch : int;
+  ctx : Urm.Ctx.t;
+  mappings : Urm.Mapping.t list;
+}
+
+type entry = { pre : snapshot; post : snapshot; batch : Mutation.batch }
+
+type outcome = {
+  snapshot : snapshot;
+  touched : string list;
+  mappings_changed : bool;
+  resolved : Mutation.batch;  (** batch with rows coerced and ids assigned *)
+}
+
+type t = {
+  head : snapshot Atomic.t;
+  mutable history : entry list;  (* newest first, bounded *)
+  history_cap : int;
+  wlock : Mutex.t;
+  eager_indexes : bool;
+}
+
+let create ?(history = 32) ?(eager_indexes = false) ~ctx ~mappings () =
+  {
+    head = Atomic.make { epoch = 0; ctx; mappings };
+    history = [];
+    history_cap = max 0 history;
+    wlock = Mutex.create ();
+    eager_indexes;
+  }
+
+let head t = Atomic.get t.head
+let epoch t = (Atomic.get t.head).epoch
+
+(* ------------------------------------------------------------------ *)
+(* Row typing.  Catalogs carry no declared column types; the stored rows
+   are the schema.  Incoming rows (CLI flags, wire JSON — where 5.0 and 5
+   are the same number) are coerced against a template row of the target
+   relation so typed column vectors stay homogeneous. *)
+
+let coerce_value rel col template v =
+  match (template, v) with
+  | _, Value.Null -> Ok Value.Null
+  | Value.Int _, Value.Int _
+  | Value.Float _, Value.Float _
+  | Value.Str _, Value.Str _
+  | Value.Null, _ ->
+    Ok v
+  | Value.Float _, Value.Int i -> Ok (Value.Float (float_of_int i))
+  | Value.Int _, Value.Float f when Float.is_integer f ->
+    Ok (Value.Int (int_of_float f))
+  | _ ->
+    Error
+      (Printf.sprintf "%s.%s: value %s does not match the column's type" rel col
+         (Value.to_string v))
+
+let coerce_row rel_name rel row =
+  if Array.length row <> Relation.arity rel then
+    Error
+      (Printf.sprintf "%s: row arity %d, relation arity %d" rel_name
+         (Array.length row) (Relation.arity rel))
+  else if Relation.is_empty rel then Ok row
+  else begin
+    let template = rel.Relation.rows.(0) in
+    let out = Array.copy row in
+    let err = ref None in
+    Array.iteri
+      (fun i v ->
+        if !err = None then
+          match coerce_value rel_name rel.Relation.cols.(i) template.(i) v with
+          | Ok v' -> out.(i) <- v'
+          | Error e -> err := Some e)
+      row;
+    match !err with None -> Ok out | Some e -> Error e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pending per-relation edits: the base row array with deletion marks plus
+   appended rows (kept reversed).  Inserts append at the end, so an
+   insert-only commit leaves the pre-commit rows as a prefix of the new
+   row array — the property {!State} uses to recover each relation's
+   delta as a suffix. *)
+
+type pending = {
+  base : Value.t array array;
+  kept : bool array;
+  mutable appended : Value.t array list;  (* reversed *)
+}
+
+let row_equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let ( let* ) = Result.bind
+
+let apply_data cat pendings m =
+  let pending_of rel =
+    match Hashtbl.find_opt pendings rel with
+    | Some p -> Ok p
+    | None -> (
+      match Catalog.find cat rel with
+      | exception Not_found -> Error ("unknown relation " ^ rel)
+      | r ->
+        let p =
+          {
+            base = r.Relation.rows;
+            kept = Array.make (Relation.cardinality r) true;
+            appended = [];
+          }
+        in
+        Hashtbl.replace pendings rel p;
+        Ok p)
+  in
+  match m with
+  | Mutation.Insert { rel; row } ->
+    let* r =
+      match Catalog.find cat rel with
+      | exception Not_found -> Error ("unknown relation " ^ rel)
+      | r -> Ok r
+    in
+    let* row = coerce_row rel r row in
+    let* p = pending_of rel in
+    p.appended <- row :: p.appended;
+    Ok (Mutation.Insert { rel; row })
+  | Mutation.Delete { rel; row } ->
+    let* r =
+      match Catalog.find cat rel with
+      | exception Not_found -> Error ("unknown relation " ^ rel)
+      | r -> Ok r
+    in
+    let* row = coerce_row rel r row in
+    let* p = pending_of rel in
+    (* Remove the first live occurrence in current order: base rows first,
+       then rows appended earlier in this batch. *)
+    let found = ref false in
+    Array.iteri
+      (fun i b -> if (not !found) && p.kept.(i) && row_equal b row then begin
+           p.kept.(i) <- false;
+           found := true
+         end)
+      p.base;
+    if not !found then begin
+      let rec drop = function
+        | [] -> []
+        | r :: rest when (not !found) && row_equal r row ->
+          found := true;
+          rest
+        | r :: rest -> r :: drop rest
+      in
+      (* [appended] is reversed; deletion order among equal duplicates is
+         immaterial (they are indistinguishable). *)
+      p.appended <- drop p.appended
+    end;
+    if !found then Ok (Mutation.Delete { rel; row })
+    else
+      Error
+        (Printf.sprintf "delete: no such row in %s (%s)" rel
+           (String.concat ", " (Array.to_list (Array.map Value.to_string row))))
+  | (Mutation.Reweight _ | Mutation.Prune _ | Mutation.Add_mapping _) as m -> Ok m
+
+let apply_mapping mappings m =
+  match m with
+  | Mutation.Reweight { mapping; prob } ->
+    if not (prob >= 0. && prob <= 1.) then
+      Error (Printf.sprintf "reweight: probability %g outside [0, 1]" prob)
+    else if List.exists (fun mp -> mp.Urm.Mapping.id = mapping) mappings then
+      Ok
+        ( List.map
+            (fun mp ->
+              if mp.Urm.Mapping.id = mapping then Urm.Mapping.with_prob mp prob
+              else mp)
+            mappings,
+          m )
+    else Error (Printf.sprintf "reweight: unknown mapping %d" mapping)
+  | Mutation.Prune { mapping } ->
+    if List.exists (fun mp -> mp.Urm.Mapping.id = mapping) mappings then
+      Ok (List.filter (fun mp -> mp.Urm.Mapping.id <> mapping) mappings, m)
+    else Error (Printf.sprintf "prune: unknown mapping %d" mapping)
+  | Mutation.Add_mapping { id = _; pairs; prob; score } -> (
+    if not (prob >= 0. && prob <= 1.) then
+      Error (Printf.sprintf "add-mapping: probability %g outside [0, 1]" prob)
+    else
+      let id =
+        1 + List.fold_left (fun acc mp -> max acc mp.Urm.Mapping.id) (-1) mappings
+      in
+      match Urm.Mapping.make ~id ~prob ~score pairs with
+      | exception Invalid_argument msg -> Error ("add-mapping: " ^ msg)
+      | mp ->
+        Ok (mappings @ [ mp ], Mutation.Add_mapping { id = Some id; pairs; prob; score })
+    )
+  | Mutation.Insert _ | Mutation.Delete _ -> Ok (mappings, m)
+
+let finalize_pending cat rel p =
+  let rows =
+    Array.of_list
+      (List.concat
+         [
+           List.filteri (fun i _ -> p.kept.(i)) (Array.to_list p.base);
+           List.rev p.appended;
+         ])
+  in
+  Relation.of_rows ~cols:(Relation.cols (Catalog.find cat rel)) rows
+
+let commit t batch =
+  Mutex.lock t.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.wlock)
+    (fun () ->
+      let pre = Atomic.get t.head in
+      let cat = pre.ctx.Urm.Ctx.catalog in
+      let pendings : (string, pending) Hashtbl.t = Hashtbl.create 4 in
+      (* Validate and stage everything before publishing anything: a failed
+         mutation leaves the head untouched. *)
+      let rec stage mappings resolved = function
+        | [] -> Ok (mappings, List.rev resolved)
+        | m :: rest ->
+          let* m = apply_data cat pendings m in
+          let* mappings, m = apply_mapping mappings m in
+          stage mappings (m :: resolved) rest
+      in
+      match stage pre.mappings [] batch with
+      | Error _ as e -> e
+      | Ok (mappings, resolved) ->
+        let touched = Mutation.touched_relations resolved in
+        let replacements =
+          List.map (fun rel -> (rel, finalize_pending cat rel (Hashtbl.find pendings rel))) touched
+        in
+        let catalog = Catalog.cow cat replacements in
+        if t.eager_indexes then Catalog.build_indexes catalog;
+        let post =
+          {
+            epoch = pre.epoch + 1;
+            ctx = Urm.Ctx.with_catalog pre.ctx catalog;
+            mappings;
+          }
+        in
+        let entry = { pre; post; batch = resolved } in
+        t.history <-
+          (if t.history_cap = 0 then []
+           else entry :: List.filteri (fun i _ -> i < t.history_cap - 1) t.history);
+        Atomic.set t.head post;
+        Ok
+          {
+            snapshot = post;
+            touched;
+            mappings_changed = Mutation.touches_mappings resolved;
+            resolved;
+          })
+
+let entries_since t epoch =
+  let head = Atomic.get t.head in
+  if epoch = head.epoch then Some []
+  else if epoch > head.epoch then None
+  else begin
+    (* history is newest-first; walk back while epochs chain. *)
+    let rec collect acc = function
+      | e :: rest when e.pre.epoch >= epoch ->
+        if e.pre.epoch = epoch then Some (e :: acc) else collect (e :: acc) rest
+      | _ -> None
+    in
+    collect [] t.history
+  end

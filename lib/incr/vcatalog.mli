@@ -1,0 +1,68 @@
+(** The versioned catalog: copy-on-write relation versions under a monotone
+    epoch.
+
+    Readers pin a {!snapshot} — an immutable (epoch, context, mapping set)
+    triple — and keep evaluating over it unperturbed while writers commit:
+    {!commit} derives a new catalog version through {!Urm_relalg.Catalog.cow}
+    (sharing untouched relations and their indexes), rebinds it into the
+    context with {!Urm.Ctx.with_catalog} (sharing the compiled-plan cache),
+    and publishes the new head atomically.  Commits are serialised by an
+    internal writer lock; reads never block.
+
+    A bounded history of (pre, post, batch) entries lets maintained answer
+    states ({!State}) catch up by replaying the batches they missed instead
+    of rebuilding. *)
+
+type snapshot = {
+  epoch : int;
+  ctx : Urm.Ctx.t;
+  mappings : Urm.Mapping.t list;
+}
+
+type entry = { pre : snapshot; post : snapshot; batch : Mutation.batch }
+
+type outcome = {
+  snapshot : snapshot;  (** the new head *)
+  touched : string list;  (** relations changed by inserts/deletes *)
+  mappings_changed : bool;
+  resolved : Mutation.batch;
+      (** the committed batch: rows coerced to column types, add-mapping
+          ids assigned *)
+}
+
+type t
+
+(** [create ?history ?eager_indexes ~ctx ~mappings ()] — epoch 0 is the
+    given state.  [history] (default 32) bounds the replay log.
+    [eager_indexes] (default false) makes every commit rebuild the touched
+    relations' indexes before publishing — required when concurrent readers
+    evaluate over the head (lazy index construction is not thread-safe);
+    single-threaded callers can skip it and let indexes build on demand. *)
+val create :
+  ?history:int ->
+  ?eager_indexes:bool ->
+  ctx:Urm.Ctx.t ->
+  mappings:Urm.Mapping.t list ->
+  unit ->
+  t
+
+(** The current head.  Safe from any domain; the returned snapshot never
+    changes. *)
+val head : t -> snapshot
+
+val epoch : t -> int
+
+(** [commit t batch] validates and applies [batch] atomically: all-or-
+    nothing (an unknown relation/mapping, arity or type mismatch, or a
+    delete of an absent row rejects the whole batch with no state change).
+    Inserted rows are coerced against the stored column types (JSON
+    round-trips integral floats as ints); inserts append at the end of the
+    relation, so the pre-commit rows remain a prefix — {!State} recovers
+    insert deltas as row-array suffixes.  Serialised against concurrent
+    commits; readers pinned to older snapshots are unaffected. *)
+val commit : t -> Mutation.batch -> (outcome, string) result
+
+(** [entries_since t epoch] the committed entries leading from [epoch] to
+    the head, oldest first ([Some []] when already current); [None] when
+    the history no longer reaches back that far (caller must rebuild). *)
+val entries_since : t -> int -> entry list option

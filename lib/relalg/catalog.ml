@@ -14,6 +14,33 @@ let add t name rel =
     (fun (r, c) _ -> if String.equal r name then Hashtbl.remove t.indexes (r, c))
     (Hashtbl.copy t.indexes)
 
+(* Copy-on-write derivation: the new catalog owns fresh binding tables but
+   shares untouched [Relation.t]s *and* their already-built column indexes
+   (index tables are write-once after construction, so sharing is safe);
+   only the replaced relations lose their indexes and rebuild on demand.
+   The originating catalog is not modified — snapshots pinned to it keep
+   reading the old versions. *)
+let cow t replacements =
+  let replaced name = List.exists (fun (n, _) -> String.equal n name) replacements in
+  let fresh =
+    {
+      tables = Hashtbl.copy t.tables;
+      indexes = Hashtbl.create (Hashtbl.length t.indexes);
+      use_indexes = t.use_indexes;
+    }
+  in
+  Hashtbl.iter
+    (fun ((r, _) as key) idx ->
+      if not (replaced r) then Hashtbl.replace fresh.indexes key idx)
+    t.indexes;
+  List.iter
+    (fun (name, rel) ->
+      if not (Hashtbl.mem t.tables name) then
+        invalid_arg ("Catalog.cow: unknown relation " ^ name);
+      Hashtbl.replace fresh.tables name rel)
+    replacements;
+  fresh
+
 let find t name = Hashtbl.find t.tables name
 let mem t name = Hashtbl.mem t.tables name
 

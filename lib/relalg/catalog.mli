@@ -7,6 +7,15 @@ type t
 val create : unit -> t
 val add : t -> string -> Relation.t -> unit
 
+(** [cow t replacements] a copy-on-write derived catalog: same bindings as
+    [t] except each [(name, rel)] of [replacements] rebinds [name] to
+    [rel].  Untouched relations and their already-built indexes are shared
+    with [t] (index tables are write-once after construction); replaced
+    relations start index-less and rebuild on demand.  [t] itself is not
+    modified, so readers pinned to it keep a consistent snapshot.  Raises
+    [Invalid_argument] when a replacement names an unknown relation. *)
+val cow : t -> (string * Relation.t) list -> t
+
 (** [find t name] raises [Not_found] for unknown relations. *)
 val find : t -> string -> Relation.t
 

@@ -1,11 +1,16 @@
 module Metrics = Urm_obs.Metrics
 module Lru = Urm_util.Lru
 
+type entry = { payload : Urm_util.Json.t; deps : string list }
+
 type t = {
-  lru : Urm_util.Json.t Lru.t;
+  lru : entry Lru.t;
   hit : Metrics.counter;
   miss : Metrics.counter;
   evict : Metrics.counter;
+  inv_selective : Metrics.counter;
+  inv_wholesale : Metrics.counter;
+  inv_removed : Metrics.counter;
 }
 
 let create ?(metrics = Metrics.scope Metrics.global "service") ~capacity () =
@@ -14,26 +19,59 @@ let create ?(metrics = Metrics.scope Metrics.global "service") ~capacity () =
     hit = Metrics.counter metrics "cache.hit";
     miss = Metrics.counter metrics "cache.miss";
     evict = Metrics.counter metrics "cache.evict";
+    inv_selective = Metrics.counter metrics "cache.invalidate.selective";
+    inv_wholesale = Metrics.counter metrics "cache.invalidate.wholesale";
+    inv_removed = Metrics.counter metrics "cache.invalidate.removed";
   }
 
 (* The full canonical text, not its 64-bit digest: a hash collision within
    a session would silently serve the wrong cached answer.  NUL separators
-   cannot occur in any component. *)
+   cannot occur in any component.  The fingerprint comes first so
+   invalidation can address one session's entries by prefix. *)
 let key ~session ~query ~algorithm ~variant =
   String.concat "\x00"
-    [ session.Session.fingerprint; Urm.Query.canonical query; algorithm; variant ]
+    [ Session.fingerprint session; Urm.Query.canonical query; algorithm; variant ]
 
 let find t k =
   match Lru.find t.lru k with
-  | Some _ as hit ->
+  | Some e ->
     Metrics.incr t.hit;
-    hit
+    Some e.payload
   | None ->
     Metrics.incr t.miss;
     None
 
-let add t k v =
-  let evicted = Lru.add t.lru k v in
-  if evicted <> [] then Metrics.incr ~by:(List.length evicted) t.evict
+let add t ?(guard = fun () -> true) ~deps k payload =
+  match Lru.add_guarded t.lru k { payload; deps } ~guard with
+  | None -> ()
+  | Some evicted ->
+    if evicted <> [] then Metrics.incr ~by:(List.length evicted) t.evict
+
+type scope = All | Relations of string list
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let invalidate t ~fingerprint scope =
+  let prefix = fingerprint ^ "\x00" in
+  let removed =
+    match scope with
+    | All ->
+      Metrics.incr t.inv_wholesale;
+      Lru.remove_if t.lru (fun k _ -> has_prefix ~prefix k)
+    | Relations rels ->
+      Metrics.incr t.inv_selective;
+      Lru.remove_if t.lru (fun k e ->
+          has_prefix ~prefix k
+          && List.exists (fun r -> List.mem r e.deps) rels)
+  in
+  Metrics.incr ~by:removed t.inv_removed;
+  removed
 
 let stats t = (Metrics.value t.hit, Metrics.value t.miss, Metrics.value t.evict)
+
+let invalidation_stats t =
+  ( Metrics.value t.inv_selective,
+    Metrics.value t.inv_wholesale,
+    Metrics.value t.inv_removed )

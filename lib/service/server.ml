@@ -195,14 +195,21 @@ let answers_limit req =
   Option.value ~default:20 (Protocol.int_param req "answers")
 
 (* Cached-or-computed evaluation: [variant] makes the cache key, [compute]
-   builds the payload on a miss. *)
+   builds the payload on a miss over one pinned snapshot.  The insert is
+   guarded by an epoch re-check under the cache lock, so an answer computed
+   over a pre-mutation snapshot can never be published after the mutation's
+   invalidation ran ([exec_mutate] commits, then invalidates). *)
 let cached_eval t session q ~algorithm ~variant compute =
   let key = Cache.key ~session ~query:q ~algorithm ~variant in
   match Cache.find t.cache key with
   | Some payload -> with_cached payload true
   | None ->
-    let payload = compute () in
-    Cache.add t.cache key payload;
+    let snap = Session.snapshot session in
+    let payload = compute snap in
+    Cache.add t.cache key payload
+      ~deps:(Urm_incr.State.query_deps snap q)
+      ~guard:(fun () ->
+        Session.epoch session = snap.Urm_incr.Vcatalog.epoch);
     with_cached payload false
 
 let exec_query t req : (Json.t, failure) result =
@@ -215,21 +222,45 @@ let exec_query t req : (Json.t, failure) result =
       let alg_name =
         Option.value ~default:"o-sharing" (Protocol.str_param req "algorithm")
       in
-      match algorithm_of_string alg_name with
+      let limit = answers_limit req in
+      if String.equal alg_name "incr" then
+        (* The maintained answer: built on first use, patched forward by
+           delta evaluation on every later one.  Always fresh at the
+           catalog head, so it bypasses the LRU cache entirely. *)
+        Ok
+          (Session.with_incr_state session q (fun state status ->
+               let answer = Urm_incr.State.answer state in
+               Json.Obj
+                 [
+                   ("query", Json.Str (Urm.Query.to_string q));
+                   ("algorithm", Json.Str "incr");
+                   ("epoch", Json.Num (float_of_int (Urm_incr.State.epoch state)));
+                   ( "status",
+                     Json.Str
+                       (match status with
+                       | `Built -> "built"
+                       | `Current -> "current"
+                       | `Patched -> "patched"
+                       | `Rebuilt -> "rebuilt") );
+                   ( "shapes",
+                     Json.Num (float_of_int (Urm_incr.State.shape_count state)) );
+                   ("size", Json.Num (float_of_int (Urm.Answer.size answer)));
+                   ("null_prob", Json.Num (Urm.Answer.null_prob answer));
+                   ("answers", answers_json answer limit);
+                 ]))
+      else
+        match algorithm_of_string alg_name with
       | Error _ as e -> e
       | Ok alg ->
-        let limit = answers_limit req in
         let variant = "exact:" ^ string_of_int limit in
         Ok
-          (cached_eval t session q ~algorithm:alg_name ~variant (fun () ->
+          (cached_eval t session q ~algorithm:alg_name ~variant (fun snap ->
+               let ctx = snap.Urm_incr.Vcatalog.ctx
+               and mappings = snap.Urm_incr.Vcatalog.mappings in
                let report =
                  match t.pool with
-                 | Some pool ->
-                   Urm_par.Drivers.run ~pool alg session.Session.ctx q
-                     session.Session.mappings
-                 | None ->
-                   Urm.Algorithms.run alg session.Session.ctx q
-                     session.Session.mappings
+                 | Some pool -> Urm_par.Drivers.run ~pool alg ctx q mappings
+                 | None -> Urm.Algorithms.run alg ctx q mappings
                in
                let answer = report.Urm.Report.answer in
                Json.Obj
@@ -255,9 +286,10 @@ let exec_topk t req : (Json.t, failure) result =
       else
         let variant = "topk:" ^ string_of_int k in
         Ok
-          (cached_eval t session q ~algorithm:"topk" ~variant (fun () ->
+          (cached_eval t session q ~algorithm:"topk" ~variant (fun snap ->
                let r =
-                 Urm.Topk.run ~k session.Session.ctx q session.Session.mappings
+                 Urm.Topk.run ~k snap.Urm_incr.Vcatalog.ctx q
+                   snap.Urm_incr.Vcatalog.mappings
                in
                let answer = r.Urm.Topk.report.Urm.Report.answer in
                Json.Obj
@@ -284,10 +316,10 @@ let exec_threshold t req : (Json.t, failure) result =
       | Some tau ->
         let variant = Printf.sprintf "threshold:%h" tau in
         Ok
-          (cached_eval t session q ~algorithm:"threshold" ~variant (fun () ->
+          (cached_eval t session q ~algorithm:"threshold" ~variant (fun snap ->
                let r =
-                 Urm.Threshold.run ~tau session.Session.ctx q
-                   session.Session.mappings
+                 Urm.Threshold.run ~tau snap.Urm_incr.Vcatalog.ctx q
+                   snap.Urm_incr.Vcatalog.mappings
                in
                let answer = r.Urm.Threshold.report.Urm.Report.answer in
                Json.Obj
@@ -386,10 +418,10 @@ let exec_approx t req : (Json.t, failure) result =
           Error (`Bad "\"tau\" must lie in (0, 1]")
         | Some k, None ->
           Ok
-            (cached_eval t session q ~algorithm:"approx" ~variant (fun () ->
+            (cached_eval t session q ~algorithm:"approx" ~variant (fun snap ->
                  let r =
-                   Urm_anytime.Topk.run ~seed ~budget ~k session.Session.ctx q
-                     session.Session.mappings
+                   Urm_anytime.Topk.run ~seed ~budget ~k
+                     snap.Urm_incr.Vcatalog.ctx q snap.Urm_incr.Vcatalog.mappings
                  in
                  base "topk" r.Urm_anytime.Topk.report
                    r.Urm_anytime.Topk.samples r.Urm_anytime.Topk.shapes
@@ -401,10 +433,10 @@ let exec_approx t req : (Json.t, failure) result =
                    ]))
         | None, Some tau ->
           Ok
-            (cached_eval t session q ~algorithm:"approx" ~variant (fun () ->
+            (cached_eval t session q ~algorithm:"approx" ~variant (fun snap ->
                  let r =
                    Urm_anytime.Threshold.run ~seed ~budget ~tau
-                     session.Session.ctx q session.Session.mappings
+                     snap.Urm_incr.Vcatalog.ctx q snap.Urm_incr.Vcatalog.mappings
                  in
                  base "threshold" r.Urm_anytime.Threshold.report
                    r.Urm_anytime.Threshold.samples
@@ -420,10 +452,10 @@ let exec_approx t req : (Json.t, failure) result =
                    ]))
         | None, None ->
           Ok
-            (cached_eval t session q ~algorithm:"approx" ~variant (fun () ->
+            (cached_eval t session q ~algorithm:"approx" ~variant (fun snap ->
                  let r =
-                   Urm_anytime.Estimator.run ~seed ~budget session.Session.ctx
-                     q session.Session.mappings
+                   Urm_anytime.Estimator.run ~seed ~budget
+                     snap.Urm_incr.Vcatalog.ctx q snap.Urm_incr.Vcatalog.mappings
                  in
                  let lo, hi = r.Urm_anytime.Estimator.null_interval in
                  base "estimate" r.Urm_anytime.Estimator.report
@@ -435,6 +467,72 @@ let exec_approx t req : (Json.t, failure) result =
                        Json.Obj [ ("lo", Json.Num lo); ("hi", Json.Num hi) ] );
                      ("unseen_hi", Json.Num r.Urm_anytime.Estimator.unseen_hi);
                    ])))))
+
+(* Commit a mutation batch, then invalidate the answer cache before
+   replying: any query issued after this reply observes the new epoch, so
+   serving it a pre-mutation cached answer is impossible (queries already
+   in flight may legitimately answer over the snapshot they pinned).
+   Data-only batches invalidate selectively — only entries whose answer
+   read a touched relation; mapping-set changes invalidate the session
+   wholesale, since every answer depends on the mapping probabilities. *)
+let exec_mutate t req : (Json.t, failure) result =
+  match session_of t req with
+  | Error _ as e -> e
+  | Ok session -> (
+    match Protocol.param req "mutations" with
+    | None -> Error (`Bad "missing \"mutations\"")
+    | Some json -> (
+      match Urm_incr.Mutation.batch_of_json json with
+      | Error m -> Error (`Bad m)
+      | Ok [] -> Error (`Bad "\"mutations\" must be non-empty")
+      | Ok batch -> (
+        match Session.mutate session batch with
+        | Error m -> Error (`Conflict m)
+        | Ok out ->
+          let scope, kind =
+            if out.Urm_incr.Vcatalog.mappings_changed then
+              (Cache.All, `Wholesale)
+            else (Cache.Relations out.Urm_incr.Vcatalog.touched, `Selective)
+          in
+          let removed =
+            Cache.invalidate t.cache
+              ~fingerprint:(Session.fingerprint session)
+              scope
+          in
+          Session.note_invalidation session kind;
+          Ok
+            (Json.Obj
+               [
+                 ("session", Json.Str session.Session.name);
+                 ( "epoch",
+                   Json.Num
+                     (float_of_int
+                        out.Urm_incr.Vcatalog.snapshot.Urm_incr.Vcatalog.epoch) );
+                 ( "applied",
+                   Json.Num
+                     (float_of_int (List.length out.Urm_incr.Vcatalog.resolved))
+                 );
+                 ( "touched",
+                   Json.Arr
+                     (List.map
+                        (fun r -> Json.Str r)
+                        out.Urm_incr.Vcatalog.touched) );
+                 ( "mappings_changed",
+                   Json.Bool out.Urm_incr.Vcatalog.mappings_changed );
+                 ( "invalidation",
+                   Json.Obj
+                     [
+                       ( "scope",
+                         Json.Str
+                           (match kind with
+                           | `Wholesale -> "wholesale"
+                           | `Selective -> "selective") );
+                       ("removed", Json.Num (float_of_int removed));
+                     ] );
+                 ( "mutations",
+                   Urm_incr.Mutation.batch_to_json out.Urm_incr.Vcatalog.resolved
+                 );
+               ]))))
 
 let exec_open_session t req : (Json.t, failure) result =
   match Protocol.str_param req "target" with
@@ -476,14 +574,40 @@ let exec_metrics t : Json.t =
             ("mean", Json.Num (Urm_util.Stats.mean (ring_to_list t.lat)));
           ] );
       ( "cache",
-        Json.Obj [ ("hit", num hits); ("miss", num misses); ("evict", num evictions) ]
-      );
+        let selective, wholesale, removed = Cache.invalidation_stats t.cache in
+        Json.Obj
+          [
+            ("hit", num hits);
+            ("miss", num misses);
+            ("evict", num evictions);
+            ( "invalidate",
+              Json.Obj
+                [
+                  ("selective", num selective);
+                  ("wholesale", num wholesale);
+                  ("removed", num removed);
+                ] );
+          ] );
+      (* Per-session mutation-driven invalidation counts. *)
+      ( "invalidations",
+        Json.Obj
+          (List.map
+             (fun s ->
+               let selective, wholesale = Session.invalidations s in
+               ( s.Session.name,
+                 Json.Obj
+                   [
+                     ("selective", num selective);
+                     ("wholesale", num wholesale);
+                     ("epoch", num (Session.epoch s));
+                   ] ))
+             (Session.list t.session_catalog)) );
       (* Plan-cache totals across open sessions (each context owns one). *)
       ( "plan_cache",
         let hit, miss, evict =
           List.fold_left
             (fun (h, m, e) s ->
-              let h', m', e' = Urm.Ctx.plan_stats s.Session.ctx in
+              let h', m', e' = Urm.Ctx.plan_stats (Session.ctx s) in
               (h + h', m + m', e + e'))
             (0, 0, 0)
             (Session.list t.session_catalog)
@@ -517,6 +641,7 @@ let execute t (req : Protocol.request) : (Json.t, failure) result =
              Json.Arr (List.map Session.to_json (Session.list t.session_catalog)) );
          ])
   | "query" -> exec_query t req
+  | "mutate" -> exec_mutate t req
   | "topk" -> exec_topk t req
   | "threshold" -> exec_threshold t req
   | "approx" -> exec_approx t req

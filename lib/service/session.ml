@@ -1,14 +1,20 @@
+module Vcatalog = Urm_incr.Vcatalog
+module State = Urm_incr.State
+
 type t = {
   name : string;
   fingerprint : string;
   target_name : string;
   target : Urm_relalg.Schema.t;
-  ctx : Urm.Ctx.t;
-  mappings : Urm.Mapping.t list;
+  vcat : Vcatalog.t;
   seed : int;
   scale : float;
   h : int;
   rows : int;
+  incr_states : (string, State.t) Hashtbl.t;
+  incr_lock : Mutex.t;
+  inv_selective : int Atomic.t;
+  inv_wholesale : int Atomic.t;
 }
 
 type catalog = {
@@ -38,12 +44,20 @@ let same_params s ~target_name ~seed ~scale ~h =
   && Float.equal s.scale scale
   && s.h = h
 
+let fingerprint s = s.fingerprint
+let snapshot s = Vcatalog.head s.vcat
+let ctx s = (snapshot s).Vcatalog.ctx
+let mappings s = (snapshot s).Vcatalog.mappings
+let epoch s = Vcatalog.epoch s.vcat
+
 let build ?engine ~name ~target_name ~target ~seed ~scale ~h () =
   let pipeline = Urm_workload.Pipeline.create ~seed ~scale () in
   let ctx = Urm_workload.Pipeline.ctx ?engine pipeline target in
   let mappings = Urm_workload.Pipeline.mappings pipeline target ~h in
   (* Indexes must exist before concurrent evaluation: lazy construction
-     inside a worker would race (Catalog is a plain Hashtbl). *)
+     inside a worker would race (Catalog is a plain Hashtbl).  The same
+     discipline holds across mutations — [eager_indexes] makes every
+     committed catalog version index its replaced relations up front. *)
   Urm_relalg.Catalog.build_indexes ctx.Urm.Ctx.catalog;
   let fingerprint = fingerprint_of ~target_name ~seed ~scale ~h mappings in
   let name = match name with Some n -> n | None -> String.sub fingerprint 0 12 in
@@ -52,12 +66,15 @@ let build ?engine ~name ~target_name ~target ~seed ~scale ~h () =
     fingerprint;
     target_name;
     target;
-    ctx;
-    mappings;
+    vcat = Vcatalog.create ~eager_indexes:true ~ctx ~mappings ();
     seed;
     scale;
     h;
     rows = Urm_workload.Pipeline.instance_rows pipeline;
+    incr_states = Hashtbl.create 4;
+    incr_lock = Mutex.create ();
+    inv_selective = Atomic.make 0;
+    inv_wholesale = Atomic.make 0;
   }
 
 let conflict s =
@@ -114,6 +131,35 @@ let list c =
   locked c (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) c.sessions [])
   |> List.sort (fun a b -> String.compare a.name b.name)
 
+(* ------------------------------------------------------------------ *)
+(* Mutation and maintained answers *)
+
+let mutate s batch = Vcatalog.commit s.vcat batch
+
+let query_deps s q = State.query_deps (snapshot s) q
+
+let with_incr_state ?metrics s q f =
+  Mutex.lock s.incr_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.incr_lock)
+    (fun () ->
+      let key = Urm.Query.canonical q in
+      let state, status =
+        match Hashtbl.find_opt s.incr_states key with
+        | None -> (State.build (snapshot s) q, `Built)
+        | Some st ->
+          let st, status = State.catch_up ?metrics s.vcat st in
+          (st, (status :> [ `Built | `Current | `Patched | `Rebuilt ]))
+      in
+      Hashtbl.replace s.incr_states key state;
+      f state status)
+
+let note_invalidation s = function
+  | `Selective -> Atomic.incr s.inv_selective
+  | `Wholesale -> Atomic.incr s.inv_wholesale
+
+let invalidations s = (Atomic.get s.inv_selective, Atomic.get s.inv_wholesale)
+
 let to_json s =
   let open Urm_util.Json in
   Obj
@@ -123,6 +169,7 @@ let to_json s =
       ("target", Str s.target_name);
       ("seed", Num (float_of_int s.seed));
       ("scale", Num s.scale);
-      ("mappings", Num (float_of_int s.h));
+      ("mappings", Num (float_of_int (List.length (mappings s))));
       ("rows", Num (float_of_int s.rows));
+      ("epoch", Num (float_of_int (epoch s)));
     ]

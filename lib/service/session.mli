@@ -2,30 +2,36 @@
 
     A session is the expensive per-instance state the paper's sharing
     techniques amortise {e within} one query — generated source instance,
-    matcher + Murty mapping set, hash indexes — built once at open time and
-    then shared read-only across the whole query stream.  Catalog mutation
-    is serialised by the catalog lock, but the build itself runs outside
-    it so concurrent lookups never stall behind an open; after
-    {!open_session} returns, every field of {!t} is immutable, so executor
-    domains evaluate over it concurrently without further locking.
+    matcher + Murty mapping set, hash indexes — built once at open time.
+    The instance and mapping set live in a {!Urm_incr.Vcatalog}: queries
+    pin the head snapshot and evaluate over it without locking, while
+    {!mutate} commits copy-on-write versions under the catalog's writer
+    lock.  Readers holding an older snapshot are unaffected (snapshot
+    isolation); the per-query maintained answers ({!with_incr_state})
+    catch up by delta evaluation.
 
     A session is identified by a stable fingerprint: an FNV-1a digest of
     the target schema, generation seed, scale, h and the full mapping-set
-    JSON.  Equal parameters always produce equal fingerprints (generation
-    is deterministic), and the answer cache keys on the fingerprint, so
-    cached answers survive close/reopen of an identical session. *)
+    JSON {e at open time}.  Equal parameters always produce equal
+    fingerprints (generation is deterministic).  The answer cache keys on
+    the fingerprint and relies on mutation-driven invalidation
+    ({!Cache.invalidate}) for freshness; {!epoch} tells the two states
+    apart. *)
 
 type t = private {
   name : string;
   fingerprint : string;  (** 16 hex digits, see {!Urm_util.Fnv} *)
   target_name : string;
   target : Urm_relalg.Schema.t;
-  ctx : Urm.Ctx.t;
-  mappings : Urm.Mapping.t list;
+  vcat : Urm_incr.Vcatalog.t;
   seed : int;
   scale : float;
-  h : int;
+  h : int;  (** requested mapping-set size at open time *)
   rows : int;  (** total tuples of the generated source instance *)
+  incr_states : (string, Urm_incr.State.t) Hashtbl.t;
+  incr_lock : Mutex.t;
+  inv_selective : int Atomic.t;
+  inv_wholesale : int Atomic.t;
 }
 
 type catalog
@@ -33,7 +39,7 @@ type catalog
 val create_catalog : unit -> catalog
 
 (** [open_session catalog ?name ?engine ?seed ?scale ?h ~target ()] finds
-    or builds a session.  Defaults: engine compiled, seed 42, scale
+    or builds a session.  Defaults: engine vectorized, seed 42, scale
     {!Urm_tpch.Gen.default_scale}, h 100, name derived from the
     fingerprint.  Returns [(session, created)] where [created] is [false]
     when an identical session (same name, same parameters) already
@@ -41,7 +47,7 @@ val create_catalog : unit -> catalog
     the same name with different parameters.  The build runs outside the
     catalog lock; concurrent opens of the same name may each build, but
     only the first insert wins and the others observe it.  The engine is
-    not part of the fingerprint — both engines return identical answers,
+    not part of the fingerprint — all engines return identical answers,
     so cached answers remain valid across the knob. *)
 val open_session :
   catalog ->
@@ -56,12 +62,51 @@ val open_session :
 
 val find : catalog -> string -> t option
 
-(** [close catalog name] drops the session; [false] when absent.  Cached
-    answers keyed by its fingerprint remain valid (the fingerprint pins
-    the exact state they were computed over). *)
+(** [close catalog name] drops the session; [false] when absent. *)
 val close : catalog -> string -> bool
 
 (** All open sessions, sorted by name. *)
 val list : catalog -> t list
+
+val fingerprint : t -> string
+
+(** The current head snapshot.  Pin it once per request: the {!ctx} and
+    {!mappings} of one snapshot are mutually consistent, while two
+    successive calls may straddle a commit. *)
+val snapshot : t -> Urm_incr.Vcatalog.snapshot
+
+val ctx : t -> Urm.Ctx.t  (** = [(snapshot s).ctx] *)
+
+val mappings : t -> Urm.Mapping.t list  (** = [(snapshot s).mappings] *)
+
+val epoch : t -> int
+
+(** [mutate s batch] commits the batch atomically (see
+    {!Urm_incr.Vcatalog.commit}); the caller (the server's [mutate] op)
+    is responsible for invalidating the answer cache {e after} the commit
+    and before replying. *)
+val mutate :
+  t -> Urm_incr.Mutation.batch -> (Urm_incr.Vcatalog.outcome, string) result
+
+(** [query_deps s q] the stored relations [q] can read through the
+    session's current mapping set — the cache-invalidation dependency
+    set. *)
+val query_deps : t -> Urm.Query.t -> string list
+
+(** [with_incr_state ?metrics s q f] runs [f] over the session's
+    maintained state for [q] — built on first use, caught up to the
+    catalog head by delta evaluation on every later use — serialised by
+    the session's incr lock ([f] must not re-enter it). *)
+val with_incr_state :
+  ?metrics:Urm_obs.Metrics.t ->
+  t ->
+  Urm.Query.t ->
+  (Urm_incr.State.t -> [ `Built | `Current | `Patched | `Rebuilt ] -> 'a) ->
+  'a
+
+(** Per-session invalidation accounting, surfaced in the [metrics] op. *)
+val note_invalidation : t -> [ `Selective | `Wholesale ] -> unit
+
+val invalidations : t -> int * int  (** (selective, wholesale) *)
 
 val to_json : t -> Urm_util.Json.t

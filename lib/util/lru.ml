@@ -80,6 +80,22 @@ let add t key value =
         push_front t n);
       evict_over_capacity t)
 
+let add_guarded t key value ~guard =
+  locked t (fun () ->
+      if not (guard ()) then None
+      else begin
+        (match Hashtbl.find_opt t.tbl key with
+        | Some n ->
+          n.value <- value;
+          unlink t n;
+          push_front t n
+        | None ->
+          let n = { key; value; prev = None; next = None } in
+          Hashtbl.replace t.tbl key n;
+          push_front t n);
+        Some (evict_over_capacity t)
+      end)
+
 let put_if_absent t key value =
   locked t (fun () ->
       match Hashtbl.find_opt t.tbl key with
@@ -94,6 +110,31 @@ let put_if_absent t key value =
         Hashtbl.replace t.tbl key n;
         push_front t n;
         (value, true, evict_over_capacity t))
+
+let remove t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> false
+      | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl key;
+        true)
+
+let remove_if t pred =
+  locked t (fun () ->
+      (* Collect first: [pred] must not run while we restructure the list,
+         and Hashtbl iteration forbids concurrent removal. *)
+      let doomed =
+        Hashtbl.fold
+          (fun key n acc -> if pred key n.value then n :: acc else acc)
+          t.tbl []
+      in
+      List.iter
+        (fun n ->
+          unlink t n;
+          Hashtbl.remove t.tbl n.key)
+        doomed;
+      List.length doomed)
 
 let clear t =
   locked t (fun () ->

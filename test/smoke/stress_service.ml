@@ -172,9 +172,127 @@ let () =
   in
   List.iter Thread.join threads;
 
-  (* Cache accounting: every query request did exactly one cache lookup;
-     nothing was evicted; the repeated half of the mix did hit. *)
-  let total_queries = List.length (script 0) * n_clients in
+  (* Mutate-then-query rounds, sequential and deterministic: each round
+     commits a batch over the wire and to a local versioned catalog built
+     from the same state, then compares the server's fresh answer
+     byte-for-byte against a local evaluation over the oracle head (the
+     commit path is shared code, so the instances are identical), and the
+     maintained "incr" answer within Prob.eps of it.  Data-only rounds
+     must invalidate selectively, mapping rounds wholesale. *)
+  let module Mutation = Urm_incr.Mutation in
+  let module Vcatalog = Urm_incr.Vcatalog in
+  let ovcat = Vcatalog.create ~ctx ~mappings:ms () in
+  let _, q1_query = Urm_workload.Queries.by_name "Q1" in
+  let rel =
+    List.hd (List.sort String.compare (Urm_relalg.Catalog.names ctx.Urm.Ctx.catalog))
+  in
+  let answers_eps_equal a b =
+    let bag json =
+      match member "answers" json with
+      | Json.Arr items ->
+        List.map
+          (fun it -> (Json.to_string (member "tuple" it), num "prob" it))
+          items
+        |> List.sort compare
+      | _ -> []
+    in
+    let ba = bag a and bb = bag b in
+    List.length ba = List.length bb
+    && List.for_all2
+         (fun (ta, pa) (tb, pb) ->
+           String.equal ta tb && Float.abs (pa -. pb) <= 1e-9)
+         ba bb
+    && Float.abs (num "null_prob" a -. num "null_prob" b) <= 1e-9
+  in
+  let n_rounds = 4 in
+  let mutated_queries = ref 0 in
+  for round = 0 to n_rounds - 1 do
+    let head = Vcatalog.head ovcat in
+    let batch =
+      if round mod 2 = 0 then begin
+        (* Data-only: delete a live row and insert it back, shifted to the
+           end — answer-preserving, but a real non-monotone commit. *)
+        let stored = Urm_relalg.Catalog.find head.Vcatalog.ctx.Urm.Ctx.catalog rel in
+        let row =
+          stored.Urm_relalg.Relation.rows.(round
+                                           mod Urm_relalg.Relation.cardinality
+                                                 stored)
+        in
+        [ Mutation.Delete { rel; row }; Mutation.Insert { rel; row } ]
+      end
+      else
+        let m =
+          List.nth head.Vcatalog.mappings (round mod List.length head.Vcatalog.mappings)
+        in
+        [
+          Mutation.Reweight
+            { mapping = m.Urm.Mapping.id; prob = m.Urm.Mapping.prob *. 0.8 };
+        ]
+    in
+    (match Vcatalog.commit ovcat batch with
+    | Ok _ -> ()
+    | Error msg -> check (Printf.sprintf "round %d oracle commit: %s" round msg) false);
+    (match
+       Client.call c0 ~op:"mutate"
+         [ session; ("mutations", Mutation.batch_to_json batch) ]
+     with
+    | Error (code, msg) ->
+      check (Printf.sprintf "round %d mutate: %s: %s" round code msg) false
+    | Ok r ->
+      check
+        (Printf.sprintf "round %d epoch advanced" round)
+        (num "epoch" r = float_of_int (round + 1));
+      check
+        (Printf.sprintf "round %d invalidation scope" round)
+        (String.equal
+           (match member "invalidation" r with j -> (match member "scope" j with Json.Str s -> s | _ -> ""))
+           (if round mod 2 = 0 then "selective" else "wholesale")));
+    let head = Vcatalog.head ovcat in
+    let expected =
+      let report =
+        Urm.Algorithms.run Urm.Algorithms.Basic head.Vcatalog.ctx q1_query
+          head.Vcatalog.mappings
+      in
+      let answer = report.Urm.Report.answer in
+      Json.to_string
+        (Json.Obj
+           [
+             ("answers", answers_json answer 20);
+             ("null", Json.Num (Urm.Answer.null_prob answer));
+           ])
+    in
+    (match
+       Client.call c0 ~op:"query"
+         [ session; ("query", Json.Str "Q1"); ("algorithm", Json.Str "basic") ]
+     with
+    | Error (code, msg) ->
+      check (Printf.sprintf "round %d query: %s: %s" round code msg) false
+    | Ok reply ->
+      incr mutated_queries;
+      check
+        (Printf.sprintf "round %d answer matches the post-mutation oracle" round)
+        (String.equal (answer_key_of_json reply) expected);
+      (match
+         Client.call c0 ~op:"query"
+           [ session; ("query", Json.Str "Q1"); ("algorithm", Json.Str "incr") ]
+       with
+      | Error (code, msg) ->
+        check (Printf.sprintf "round %d incr query: %s: %s" round code msg) false
+      | Ok incr_reply ->
+        check
+          (Printf.sprintf "round %d incr status" round)
+          (match member "status" incr_reply with
+          | Json.Str ("built" | "patched") -> true
+          | _ -> false);
+        check
+          (Printf.sprintf "round %d maintained answer equals fresh basic" round)
+          (answers_eps_equal incr_reply reply)))
+  done;
+
+  (* Cache accounting: every query request did exactly one cache lookup
+     ("incr" queries bypass the cache); nothing was evicted; the repeated
+     half of the mix did hit. *)
+  let total_queries = (List.length (script 0) * n_clients) + !mutated_queries in
   (match Client.call c0 ~op:"metrics" [] with
   | Error (code, msg) -> check (Printf.sprintf "metrics: %s: %s" code msg) false
   | Ok m ->
@@ -189,7 +307,18 @@ let () =
     (* Every shared variant is computed at most once per concurrent racer;
        far fewer than the repeats, so hits must dominate the shared half. *)
     check "cache hits observed" (hit >= float_of_int total_queries /. 4.);
-    check "requests counted" (num "requests" m >= float_of_int total_queries));
+    check "requests counted" (num "requests" m >= float_of_int total_queries);
+    (* Invalidation accounting: two data-only rounds invalidated
+       selectively, two mapping rounds wholesale — counted both at the
+       cache and per session. *)
+    let inv = member "invalidate" cache in
+    check "selective invalidations counted" (num "selective" inv = 2.);
+    check "wholesale invalidations counted" (num "wholesale" inv = 2.);
+    let per_session = member "stress" (member "invalidations" m) in
+    check "per-session selective count" (num "selective" per_session = 2.);
+    check "per-session wholesale count" (num "wholesale" per_session = 2.);
+    check "per-session epoch tracks the rounds"
+      (num "epoch" per_session = float_of_int n_rounds));
   check "some client observed a cached reply"
     (Array.exists (fun n -> n > 0) cached_seen);
 

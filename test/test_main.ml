@@ -20,4 +20,5 @@ let () =
       ("differential", Test_differential.suite);
       ("plan", Test_plan.suite);
       ("anytime", Test_anytime.suite);
+      ("incr", Test_incr.suite);
     ]
