@@ -12,6 +12,10 @@
       small fixed workload (skip with [--skip-bechamel], keep only with
       [--skip-tables]). *)
 
+(* First, before argv parsing: the shard sweep spawns worker processes
+   by re-executing this binary with URM_SHARD_WORKER set. *)
+let () = Urm_shard.Launcher.exec_if_worker ()
+
 let parse_args () =
   let only = ref None in
   let quick = ref false in
@@ -615,6 +619,158 @@ let run_incr quick =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 1f: the shard-router sweep (id "shard").
+
+   End-to-end service latency and throughput over the binary-framed wire
+   at shards ∈ {1, 2, 3}: one router + N worker processes per point, a
+   mixed loop of [basic] fan-out queries, with every reply byte-compared
+   against the shards = 1 reply of the same query (the per-mapping merge
+   determinism contract), recorded as "identical_to_shards1" in
+   BENCH_shard.json.  Repeats hit the workers' answer caches, so the
+   numbers isolate the wire + fan-out + merge overhead rather than
+   re-measuring evaluation cost. *)
+
+let shard_file = "BENCH_shard.json"
+
+let run_shard quick =
+  let module Json = Urm_util.Json in
+  let module Client = Urm_service.Client in
+  let module Router = Urm_shard.Router in
+  let shard_sweep = [ 1; 2; 3 ] in
+  let requests = if quick then 60 else 300 in
+  let queries = [ "Q1"; "Q2"; "Q4" ] in
+  let session = ("session", Json.Str "bench-shard") in
+  let member name json =
+    Option.value ~default:Json.Null (Json.member name json)
+  in
+  let answer_key json =
+    Json.to_string
+      (Json.Obj
+         [ ("answers", member "answers" json); ("null", member "null_prob" json) ])
+  in
+  Format.printf
+    "=== shard-router sweep (basic fan-out, shards ∈ {%s}, %d requests) ===@.@."
+    (String.concat ", " (List.map string_of_int shard_sweep))
+    requests;
+  let mismatch = ref false in
+  let baseline : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let rows =
+    List.map
+      (fun shards ->
+        match Router.start { Router.default_config with shards } with
+        | Error m ->
+          Format.eprintf "shard sweep: cannot start the %d-shard router: %s@."
+            shards m;
+          exit 1
+        | Ok router ->
+          let c = Client.connect ~framed:true ~port:(Router.port router) () in
+          (match
+             Client.call c ~op:"open-session"
+               [
+                 session;
+                 ("target", Json.Str "Excel");
+                 ("seed", Json.Num 7.);
+                 ("scale", Json.Num 0.01);
+                 ("h", Json.Num 8.);
+               ]
+           with
+          | Ok _ -> ()
+          | Error (code, m) ->
+            Format.eprintf "shard sweep: open-session: %s: %s@." code m;
+            exit 1);
+          let query q =
+            Client.call c ~op:"query"
+              [ session; ("query", Json.Str q); ("algorithm", Json.Str "basic") ]
+          in
+          let identical = ref true in
+          let check q reply =
+            let key = answer_key reply in
+            match Hashtbl.find_opt baseline q with
+            | None -> Hashtbl.replace baseline q key
+            | Some expected ->
+              if not (String.equal key expected) then begin
+                identical := false;
+                mismatch := true;
+                Format.eprintf
+                  "shard sweep: %s at shards = %d diverged from shards = 1@." q
+                  shards
+              end
+          in
+          (* Warm pass: populate/ check the baselines outside the timing. *)
+          List.iter
+            (fun q ->
+              match query q with
+              | Ok reply -> check q reply
+              | Error (code, m) ->
+                Format.eprintf "shard sweep: warm %s: %s: %s@." q code m;
+                exit 1)
+            queries;
+          let lats = ref [] in
+          let t0 = Unix.gettimeofday () in
+          for i = 0 to requests - 1 do
+            let q = List.nth queries (i mod List.length queries) in
+            let s = Unix.gettimeofday () in
+            (match query q with
+            | Ok reply -> check q reply
+            | Error (code, m) ->
+              mismatch := true;
+              Format.eprintf "shard sweep: %s at shards = %d: %s: %s@." q shards
+                code m);
+            lats := (Unix.gettimeofday () -. s) :: !lats
+          done;
+          let seconds = Unix.gettimeofday () -. t0 in
+          (match Client.call c ~op:"shutdown" [] with
+          | Ok _ -> ()
+          | Error (code, m) ->
+            Format.eprintf "shard sweep: shutdown: %s: %s@." code m);
+          Client.close c;
+          Router.wait router;
+          let p pq = Urm_util.Stats.percentile_or_zero pq !lats in
+          let p50 = p 0.5 and p95 = p 0.95 and p99 = p 0.99 in
+          let req_per_s = float_of_int requests /. seconds in
+          Format.printf
+            "  shards = %d  %3d requests in %6.2fs  %7.0f req/s  p50 %.4fs  \
+             p95 %.4fs  p99 %.4fs  %s@."
+            shards requests seconds req_per_s p50 p95 p99
+            (if !identical then "bit-identical" else "DIVERGED");
+          Json.Obj
+            [
+              ("shards", Json.Num (float_of_int shards));
+              ("requests", Json.Num (float_of_int requests));
+              ("seconds", Json.Num seconds);
+              ("req_per_s", Json.Num req_per_s);
+              ("p50", Json.Num p50);
+              ("p95", Json.Num p95);
+              ("p99", Json.Num p99);
+              ("identical_to_shards1", Json.Bool !identical);
+            ])
+      shard_sweep
+  in
+  let json =
+    Json.Obj
+      [
+        ( "config",
+          Json.Obj
+            [
+              ("seed", Json.Num 7.);
+              ("scale", Json.Num 0.01);
+              ("h", Json.Num 8.);
+              ("queries", Json.Arr (List.map (fun q -> Json.Str q) queries));
+            ] );
+        ("rows", Json.Arr rows);
+      ]
+  in
+  let oc = open_out shard_file in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote shard-router sweep to %s@.@." shard_file;
+  if !mismatch then begin
+    Format.eprintf "shard sweep: a sharded answer diverged from shards = 1@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one per table/figure. *)
 
 let micro_tests () =
@@ -717,4 +873,5 @@ let () =
   if not skip_tables && wanted only "eval" then run_eval quick engine;
   if not skip_tables && wanted only "anytime" then run_anytime quick;
   if not skip_tables && wanted only "incr" then run_incr quick;
+  if not skip_tables && wanted only "shard" then run_shard quick;
   if not skip_bechamel then run_bechamel only

@@ -8,6 +8,11 @@
      topk        evaluate a probabilistic top-k query
      experiment  run one (or all) of the paper's experiments *)
 
+(* Must run before anything else: a process spawned by the shard router
+   re-executes this binary with URM_SHARD_WORKER set and must become a
+   worker instead of parsing arguments. *)
+let () = Urm_shard.Launcher.exec_if_worker ()
+
 open Cmdliner
 
 let scale_t =
@@ -524,8 +529,72 @@ let port_t =
   Arg.(value & opt int 7411 & info [ "port"; "p" ] ~doc)
 
 let serve_cmd =
-  let run port workers queue_depth cache_size preload seed scale h eval_jobs
-      engine metrics =
+  let run_sharded port shards queue_depth cache_size preload seed scale h
+      eval_jobs engine =
+    let cfg =
+      {
+        Urm_shard.Router.default_config with
+        port;
+        shards;
+        queue_depth;
+        worker =
+          {
+            Urm_shard.Launcher.engine;
+            eval_workers = max 1 eval_jobs;
+            queue_depth;
+            cache_capacity = cache_size;
+          };
+      }
+    in
+    match Urm_shard.Router.start cfg with
+    | Error msg ->
+      Format.eprintf "cannot start the shard router: %s@." msg;
+      exit 1
+    | Ok router ->
+      (* Preload over the wire so every shard opens the session. *)
+      let client =
+        lazy
+          (Urm_service.Client.connect ~framed:true
+             ~port:(Urm_shard.Router.port router)
+             ())
+      in
+      List.iter
+        (fun target ->
+          let module Json = Urm_util.Json in
+          match
+            Urm_service.Client.call (Lazy.force client) ~op:"open-session"
+              [
+                ("target", Json.Str target);
+                ("session", Json.Str (String.lowercase_ascii target));
+                ("seed", Json.Num (float_of_int seed));
+                ("scale", Json.Num scale);
+                ("h", Json.Num (float_of_int h));
+              ]
+          with
+          | Ok _ -> Format.printf "session %s ready on every shard@." target
+          | Error (code, msg) ->
+            Format.eprintf "preload %s failed: %s: %s@." target code msg;
+            exit 1)
+        preload;
+      if Lazy.is_val client then Urm_service.Client.close (Lazy.force client);
+      Format.printf
+        "urm shard router listening on 127.0.0.1:%d (%d workers: pids %s)@."
+        (Urm_shard.Router.port router)
+        shards
+        (String.concat ", "
+           (List.map string_of_int (Urm_shard.Router.worker_pids router)));
+      Sys.set_signal Sys.sigint
+        (Sys.Signal_handle (fun _ -> Urm_shard.Router.stop router));
+      Urm_shard.Router.wait router;
+      Format.printf "drained (%d worker restarts)@."
+        (Urm_shard.Router.restarts router)
+  in
+  let run port shards workers queue_depth cache_size preload seed scale h
+      eval_jobs engine metrics =
+    if shards > 0 then
+      run_sharded port shards queue_depth cache_size preload seed scale h
+        eval_jobs engine
+    else
     let cfg =
       {
         Urm_service.Server.default_config with
@@ -564,14 +633,25 @@ let serve_cmd =
     Sys.set_signal Sys.sigint
       (Sys.Signal_handle (fun _ -> Urm_service.Server.stop server));
     Urm_service.Server.wait server;
-    let count, p50, p95 = Urm_service.Server.latency_summary server in
-    Format.printf "drained after %d requests (window %d: p50 %.4fs, p95 %.4fs)@."
+    let count, p50, p95, p99 = Urm_service.Server.latency_summary server in
+    Format.printf
+      "drained after %d requests (window %d: p50 %.4fs, p95 %.4fs, p99 %.4fs)@."
       (Option.value ~default:0
          (Urm_obs.Metrics.find_counter
             (Urm_obs.Metrics.scope Urm_obs.Metrics.global "service")
             "requests"))
-      count p50 p95;
+      count p50 p95 p99;
     print_metrics metrics
+  in
+  let shards_t =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ]
+          ~doc:
+            "Run as a shard router over this many spawned worker processes \
+             (0 = single-process service).  Session state is replicated to \
+             every worker; basic-algorithm queries fan out over mapping \
+             ranges and merge bit-identically.")
   in
   let workers_t =
     Arg.(
@@ -607,11 +687,20 @@ let serve_cmd =
   let doc = "Run the query service: sessions, answer cache, executor pool." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ port_t $ workers_t $ queue_t $ cache_t $ preload_t $ seed_t
-      $ scale_t $ h_t $ eval_jobs_t $ engine_t $ metrics_t)
+      const run $ port_t $ shards_t $ workers_t $ queue_t $ cache_t $ preload_t
+      $ seed_t $ scale_t $ h_t $ eval_jobs_t $ engine_t $ metrics_t)
+
+let shard_worker_cmd =
+  let run port engine = Urm_shard.Worker.run ~port ~engine () in
+  let doc =
+    "Run one shard worker by hand (the router normally spawns these \
+     itself): an ordinary query service that announces its port as \
+     'URM_SHARD_PORT <n>' on stdout."
+  in
+  Cmd.v (Cmd.info "shard-worker" ~doc) Term.(const run $ port_t $ engine_t)
 
 let request_cmd =
-  let run port op arg session target seed scale h alg answers k tau delta
+  let run port framed op arg session target seed scale h alg answers k tau delta
       samples sql =
     let module Json = Urm_util.Json in
     let opt name v f = Option.map (fun v -> (name, f v)) v in
@@ -688,7 +777,7 @@ let request_cmd =
       prerr_endline msg;
       exit 1
     | Ok params -> (
-      match Urm_service.Client.connect ~port () with
+      match Urm_service.Client.connect ~framed ~port () with
       | exception Unix.Unix_error (e, _, _) ->
         Format.eprintf "cannot connect to 127.0.0.1:%d: %s@." port
           (Unix.error_message e);
@@ -759,11 +848,20 @@ let request_cmd =
       & opt (some int) None
       & info [ "samples" ] ~doc:"Sample budget for approx (default 100000).")
   in
+  let framed_t =
+    Arg.(
+      value & flag
+      & info [ "framed" ]
+          ~doc:
+            "Speak the binary frame protocol instead of ND-JSON lines (the \
+             server auto-detects by the first byte).")
+  in
   let doc = "Send one request to a running urm service and print the reply." in
   Cmd.v (Cmd.info "request" ~doc)
     Term.(
-      const run $ port_t $ op_t $ arg_t $ session_t $ target_t $ seed_t $ scale_t
-      $ h_t $ algorithm_t $ answers_t $ k_t $ tau_t $ delta_t $ samples_t $ sql_t)
+      const run $ port_t $ framed_t $ op_t $ arg_t $ session_t $ target_t
+      $ seed_t $ scale_t $ h_t $ algorithm_t $ answers_t $ k_t $ tau_t $ delta_t
+      $ samples_t $ sql_t)
 
 let mutate_cmd =
   let module Json = Urm_util.Json in
@@ -954,5 +1052,5 @@ let () =
           [
             generate_cmd; match_cmd; mappings_cmd; query_cmd; plan_cmd; topk_cmd;
             threshold_cmd; approx_cmd; export_cmd; save_mappings_cmd;
-            experiment_cmd; serve_cmd; request_cmd; mutate_cmd;
+            experiment_cmd; serve_cmd; shard_worker_cmd; request_cmd; mutate_cmd;
           ]))

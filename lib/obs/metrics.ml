@@ -133,3 +133,42 @@ let pp ppf t =
     (fun (k, (s, n)) -> Format.fprintf ppf "%-52s %10.4fs /%d@," k s n)
     (timers t);
   Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Roll-up of metric snapshots across processes (the shard router's
+   [metrics] op): numeric leaves with the same path sum; objects merge
+   recursively over the union of keys (key order: first appearance, so a
+   roll-up over identically-shaped shard snapshots stays deterministic).
+   Keys in [drop] are removed wherever they appear — percentiles and
+   means are not additive, so summing them would lie. *)
+let rollup ?(drop = [ "p50"; "p95"; "p99"; "mean" ]) snapshots =
+  let open Urm_util.Json in
+  let dropped = List.filter (fun k -> not (List.mem k drop)) in
+  let rec merge a b =
+    match (a, b) with
+    | Num x, Num y -> Num (x +. y)
+    | Obj xs, Obj ys ->
+      let keys =
+        dropped
+          (List.map fst xs
+          @ List.filter (fun k -> not (List.mem_assoc k xs)) (List.map fst ys))
+      in
+      Obj
+        (List.map
+           (fun k ->
+             match (List.assoc_opt k xs, List.assoc_opt k ys) with
+             | Some x, Some y -> (k, merge x y)
+             | Some x, None | None, Some x -> (k, prune x)
+             | None, None -> (k, Null))
+           keys)
+    | x, _ -> x
+  and prune = function
+    | Obj xs ->
+      Obj (List.filter_map
+             (fun (k, v) -> if List.mem k drop then None else Some (k, prune v))
+             xs)
+    | other -> other
+  in
+  match snapshots with
+  | [] -> Urm_util.Json.Obj []
+  | first :: rest -> List.fold_left merge (prune first) rest

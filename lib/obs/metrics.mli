@@ -89,3 +89,13 @@ val to_json : t -> Urm_util.Json.t
     "count": n}, …}}] — the [metrics.json] schema (see DESIGN.md). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Cross-process roll-up} *)
+
+val rollup : ?drop:string list -> Urm_util.Json.t list -> Urm_util.Json.t
+(** [rollup snapshots] merges metric snapshots from several processes
+    (the shard router's aggregate view): numeric leaves at the same path
+    sum, objects merge recursively over the union of keys, and any other
+    mismatch keeps the first value.  Keys in [drop] (default the
+    non-additive [p50]/[p95]/[p99]/[mean]) are removed wherever they
+    appear — a roll-up must not pretend percentiles add. *)

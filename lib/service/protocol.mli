@@ -1,5 +1,7 @@
 (** The service wire protocol: newline-delimited JSON over a loopback TCP
-    socket.
+    socket, or the same JSON documents inside the binary framing of
+    {!Frame} (a connection negotiates by its first byte; ND-JSON is the
+    fallback, so [urm request] keeps working against any server).
 
     One request per line, one reply per line.  A request is
     [{"id": <any>, "op": "<name>", "params": {…}}]; the reply echoes the
@@ -42,7 +44,9 @@ val float_param : request -> string -> float option
 val ok : id:Json.t -> Json.t -> string
 
 (** [error ~id ~code message] — codes in use: [bad_request], [busy],
-    [not_found], [conflict], [unavailable], [error]. *)
+    [not_found], [conflict], [unavailable], [error], and (from the shard
+    router) [shard_unavailable] when a worker process died and its
+    replacement was not ready in time. *)
 val error : id:Json.t -> code:string -> string -> string
 
 type reply =

@@ -24,44 +24,9 @@ let default_config =
     engine = Urm_relalg.Compile.Vectorized;
   }
 
-(* ------------------------------------------------------------------ *)
-(* Connections *)
-
-type conn = {
-  fd : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
-  wlock : Mutex.t;
-  mutable alive : bool;
-}
-
-let send conn line =
-  Mutex.lock conn.wlock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock conn.wlock)
-    (fun () ->
-      if conn.alive then
-        try
-          output_string conn.oc line;
-          output_char conn.oc '\n';
-          flush conn.oc
-        with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
-
-(* [wake] unblocks a reader parked in [input_line] (EOF via shutdown);
-   the reader then runs [teardown], the single place the fd is closed. *)
-let wake conn =
-  Mutex.lock conn.wlock;
-  if conn.alive then
-    (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  Mutex.unlock conn.wlock
-
-let teardown conn =
-  Mutex.lock conn.wlock;
-  if conn.alive then begin
-    conn.alive <- false;
-    try Unix.close conn.fd with Unix.Unix_error _ -> ()
-  end;
-  Mutex.unlock conn.wlock
+(* Connections live in {!Wire}: line/frame mode sniffing, locked writes,
+   wake/teardown — shared with the shard router's accept path. *)
+let send conn line = Wire.send_reply conn line
 
 (* ------------------------------------------------------------------ *)
 (* Sliding latency window for percentile reporting *)
@@ -91,7 +56,15 @@ let ring_to_list r =
 
 (* ------------------------------------------------------------------ *)
 
-type job = { jconn : conn; req : Protocol.request; enqueued : float }
+(* A batch frame is admitted as one job (one queue slot, one worker):
+   its requests execute sequentially and are answered positionally in a
+   single [Batch_reply] — the server-side batching path.  Requests that
+   failed to parse occupy their slot as pre-rendered error replies. *)
+type work =
+  | Single of Protocol.request
+  | Batched of (Protocol.request, string) result list
+
+type job = { jconn : Wire.t; work : work; enqueued : float }
 
 type t = {
   cfg : config;
@@ -107,7 +80,7 @@ type t = {
   qlock : Mutex.t;
   qcond : Condition.t;
   mutable stopping : bool;
-  mutable conns : conn list;
+  mutable conns : Wire.t list;
   mutable readers : Thread.t list;
   conns_lock : Mutex.t;
   lat : ring;
@@ -120,6 +93,14 @@ type t = {
 
 let port t = t.bound_port
 let sessions t = t.session_catalog
+
+(* Live connection records — the fuzz suite's leak probe: every reader
+   that exits (clean EOF or protocol error) removes its record. *)
+let connection_count t =
+  Mutex.lock t.conns_lock;
+  let n = List.length t.conns in
+  Mutex.unlock t.conns_lock;
+  n
 
 let stop t =
   Mutex.lock t.qlock;
@@ -212,6 +193,56 @@ let cached_eval t session q ~algorithm ~variant compute =
         Session.epoch session = snap.Urm_incr.Vcatalog.epoch);
     with_cached payload false
 
+(* Partial evaluation over a contiguous mapping range [lo, hi): the shard
+   router's fan-out unit for the [basic] algorithm.  The reply carries one
+   answer per mapping (ascending), so the router can replay [urm_par]'s
+   per-item ascending merge exactly and recombine bit-identically to a
+   single-process evaluation at any shard count.  Per-range subtotals
+   would not be enough — float addition is non-associative, so only the
+   per-item parts pin the grouping. *)
+let exec_query_partial t session q ~alg_name ~lo ~hi : (Json.t, failure) result =
+  if not (String.equal alg_name "basic") then
+    Error (`Bad "partial range evaluation supports only algorithm \"basic\"")
+  else if lo < 0 || hi < lo then
+    Error (`Bad "\"range_lo\"/\"range_hi\" must satisfy 0 <= lo <= hi")
+  else
+    let variant = Printf.sprintf "partial:%d:%d" lo hi in
+    Ok
+      (cached_eval t session q ~algorithm:alg_name ~variant (fun snap ->
+           let ctx = snap.Urm_incr.Vcatalog.ctx
+           and mappings = snap.Urm_incr.Vcatalog.mappings in
+           let n = List.length mappings in
+           if hi > n then
+             failwith
+               (Printf.sprintf "range [%d, %d) outside the %d mappings" lo hi n);
+           let header = Urm.Reformulate.output_header q in
+           let ms = Array.of_list mappings in
+           let parts =
+             List.init (hi - lo) (fun j ->
+                 let ctrs = Urm_relalg.Eval.fresh_counters () in
+                 let acc = Urm.Answer.create header in
+                 Urm.Basic.accumulate ~ctrs ctx q acc [ ms.(lo + j) ];
+                 Json.Obj
+                   [
+                     ("m", Json.Num (float_of_int (lo + j)));
+                     ("answers", answers_json acc max_int);
+                     ("null_prob", Json.Num (Urm.Answer.null_prob acc));
+                   ])
+           in
+           Json.Obj
+             [
+               ("query", Json.Str (Urm.Query.to_string q));
+               ("algorithm", Json.Str "basic");
+               ( "range",
+                 Json.Obj
+                   [
+                     ("lo", Json.Num (float_of_int lo));
+                     ("hi", Json.Num (float_of_int hi));
+                   ] );
+               ("output", Json.Arr (List.map (fun c -> Json.Str c) header));
+               ("partials", Json.Arr parts);
+             ]))
+
 let exec_query t req : (Json.t, failure) result =
   match session_of t req with
   | Error _ as e -> e
@@ -223,6 +254,13 @@ let exec_query t req : (Json.t, failure) result =
         Option.value ~default:"o-sharing" (Protocol.str_param req "algorithm")
       in
       let limit = answers_limit req in
+      match
+        (Protocol.int_param req "range_lo", Protocol.int_param req "range_hi")
+      with
+      | Some lo, Some hi -> exec_query_partial t session q ~alg_name ~lo ~hi
+      | Some _, None | None, Some _ ->
+        Error (`Bad "give both \"range_lo\" and \"range_hi\", or neither")
+      | None, None ->
       if String.equal alg_name "incr" then
         (* The maintained answer: built on first use, patched forward by
            delta evaluation on every later one.  Always fresh at the
@@ -552,14 +590,17 @@ let exec_open_session t req : (Json.t, failure) result =
       | Json.Obj fields -> Ok (Json.Obj (fields @ [ ("created", Json.Bool created) ]))
       | other -> Ok other))
 
-let percentile_or_zero p = function [] -> 0. | xs -> Urm_util.Stats.percentile p xs
-
+(* Totalised percentiles ({!Urm_util.Stats.percentile_or_zero}): the ring
+   may legitimately have [filled = 0] — a server polled before its first
+   request, or an idle shard inside a roll-up — and must report 0 rather
+   than raise into the metrics path. *)
 let latency_summary t =
   let lats = ring_to_list t.lat in
-  (List.length lats, percentile_or_zero 0.5 lats, percentile_or_zero 0.95 lats)
+  let p q = Urm_util.Stats.percentile_or_zero q lats in
+  (List.length lats, p 0.5, p 0.95, p 0.99)
 
 let exec_metrics t : Json.t =
-  let count, p50, p95 = latency_summary t in
+  let count, p50, p95, p99 = latency_summary t in
   let hits, misses, evictions = Cache.stats t.cache in
   let num f = Json.Num (float_of_int f) in
   Json.Obj
@@ -571,6 +612,7 @@ let exec_metrics t : Json.t =
             ("count", num count);
             ("p50", Json.Num p50);
             ("p95", Json.Num p95);
+            ("p99", Json.Num p99);
             ("mean", Json.Num (Urm_util.Stats.mean (ring_to_list t.lat)));
           ] );
       ( "cache",
@@ -654,24 +696,37 @@ let execute t (req : Protocol.request) : (Json.t, failure) result =
 (* ------------------------------------------------------------------ *)
 (* Executor pool *)
 
+let reply_of t (req : Protocol.request) =
+  let id = req.Protocol.id in
+  match execute t req with
+  | Ok result -> Protocol.ok ~id result
+  | Error (`Bad m) -> Protocol.error ~id ~code:"bad_request" m
+  | Error (`Not_found m) -> Protocol.error ~id ~code:"not_found" m
+  | Error (`Conflict m) -> Protocol.error ~id ~code:"conflict" m
+  | Error (`Error m) -> Protocol.error ~id ~code:"error" m
+  | exception Failure m -> Protocol.error ~id ~code:"bad_request" m
+  | exception Invalid_argument m -> Protocol.error ~id ~code:"bad_request" m
+  | exception Not_found -> Protocol.error ~id ~code:"not_found" "not found"
+  | exception exn -> Protocol.error ~id ~code:"error" (Printexc.to_string exn)
+
 let handle t job =
-  let id = job.req.Protocol.id in
-  let reply =
-    match execute t job.req with
-    | Ok result -> Protocol.ok ~id result
-    | Error (`Bad m) -> Protocol.error ~id ~code:"bad_request" m
-    | Error (`Not_found m) -> Protocol.error ~id ~code:"not_found" m
-    | Error (`Conflict m) -> Protocol.error ~id ~code:"conflict" m
-    | Error (`Error m) -> Protocol.error ~id ~code:"error" m
-    | exception Failure m -> Protocol.error ~id ~code:"bad_request" m
-    | exception Invalid_argument m -> Protocol.error ~id ~code:"bad_request" m
-    | exception Not_found -> Protocol.error ~id ~code:"not_found" "not found"
-    | exception exn -> Protocol.error ~id ~code:"error" (Printexc.to_string exn)
+  let executed =
+    match job.work with
+    | Single req ->
+      send job.jconn (reply_of t req);
+      1
+    | Batched items ->
+      let replies =
+        List.map
+          (function Ok req -> reply_of t req | Error pre -> pre)
+          items
+      in
+      Wire.send_frame job.jconn (Frame.Batch_reply replies);
+      List.length items
   in
-  send job.jconn reply;
   let dt = Urm_util.Timer.now () -. job.enqueued in
   Metrics.record t.request_timer dt;
-  Metrics.incr t.requests;
+  Metrics.incr ~by:executed t.requests;
   ring_add t.lat dt
 
 let worker_loop t () =
@@ -694,42 +749,100 @@ let worker_loop t () =
 (* ------------------------------------------------------------------ *)
 (* Admission and connection readers *)
 
-let enqueue t conn req =
+(* Free admission slots right now — the credit value of [Hello_ack] and
+   [Credit] frames.  Advisory: a snapshot, not a reservation. *)
+let free_slots t =
+  Mutex.lock t.qlock;
+  let n = max 0 (t.cfg.queue_depth - Queue.length t.queue) in
+  Mutex.unlock t.qlock;
+  n
+
+let reject work conn ~code ~message =
+  let err (req : Protocol.request) =
+    Protocol.error ~id:req.Protocol.id ~code message
+  in
+  match work with
+  | Single req -> send conn (err req)
+  | Batched items ->
+    Wire.send_frame conn
+      (Frame.Batch_reply
+         (List.map (function Ok req -> err req | Error pre -> pre) items))
+
+let enqueue t conn work =
   Mutex.lock t.qlock;
   if t.stopping then begin
     Mutex.unlock t.qlock;
-    send conn
-      (Protocol.error ~id:req.Protocol.id ~code:"unavailable" "server is draining")
+    reject work conn ~code:"unavailable" ~message:"server is draining"
   end
   else if Queue.length t.queue >= t.cfg.queue_depth then begin
     Mutex.unlock t.qlock;
     Metrics.incr t.rejected;
-    send conn
-      (Protocol.error ~id:req.Protocol.id ~code:"busy" "admission queue is full")
+    reject work conn ~code:"busy" ~message:"admission queue is full";
+    (* Explicit backpressure for framed clients: volunteer the current
+       credit alongside the rejection so a pipelining sender can pace
+       itself instead of spinning on [busy]. *)
+    if conn.Wire.mode = Wire.Frames then
+      Wire.send_frame conn (Frame.Credit (free_slots t))
   end
   else begin
-    Queue.push { jconn = conn; req; enqueued = Urm_util.Timer.now () } t.queue;
+    Queue.push { jconn = conn; work; enqueued = Urm_util.Timer.now () } t.queue;
     Condition.signal t.qcond;
     Mutex.unlock t.qlock;
     Metrics.incr t.depth
   end
 
 let reader t conn =
-  let rec loop () =
-    match input_line conn.ic with
-    | line ->
-      (if not (String.equal (String.trim line) "") then
-         match Protocol.parse_request line with
-         | Error msg ->
-           send conn
-             (Protocol.error ~id:Json.Null ~code:"bad_request"
-                ("malformed request: " ^ msg))
-         | Ok req -> enqueue t conn req);
-      loop ()
-    | exception (End_of_file | Sys_error _) -> ()
+  let parse_item doc =
+    match Protocol.parse_request doc with
+    | Ok req -> Ok req
+    | Error msg ->
+      Error
+        (Protocol.error ~id:Json.Null ~code:"bad_request"
+           ("malformed request: " ^ msg))
   in
+  let enqueue_doc doc =
+    match parse_item doc with
+    | Ok req -> enqueue t conn (Single req)
+    | Error pre -> send conn pre
+  in
+  (* Returns [true] to keep reading, [false] to drop the connection. *)
+  let step () =
+    match Wire.recv conn with
+    | Wire.Eof -> false
+    | Wire.Line line ->
+      if not (String.equal (String.trim line) "") then enqueue_doc line;
+      true
+    | Wire.Framed (Frame.Request doc) ->
+      enqueue_doc doc;
+      true
+    | Wire.Framed (Frame.Batch docs) ->
+      (match List.map parse_item docs with
+      | [] -> Wire.send_frame conn (Frame.Batch_reply [])
+      | items -> enqueue t conn (Batched items));
+      true
+    | Wire.Framed (Frame.Hello _) ->
+      Wire.send_frame conn (Frame.Hello_ack (free_slots t));
+      true
+    | Wire.Framed (Frame.Credit _) ->
+      Wire.send_frame conn (Frame.Credit (free_slots t));
+      true
+    | Wire.Framed
+        (Frame.Hello_ack _ | Frame.Reply _ | Frame.Batch_reply _
+        | Frame.Proto_error _) ->
+      Wire.send_frame conn
+        (Frame.Proto_error
+           ("unexpected_frame", "frame type flows server-to-client only"));
+      false
+    | Wire.Malformed err ->
+      (* Answer the malformation, then close: a corrupted binary stream
+         has no resynchronisation point. *)
+      Wire.send_frame conn
+        (Frame.Proto_error (Frame.error_code err, Frame.error_message err));
+      false
+  in
+  let rec loop () = if step () then loop () in
   loop ();
-  teardown conn;
+  Wire.teardown conn;
   (* Drop this connection's record and our own thread handle so a
      long-lived server accepting many short connections doesn't
      accumulate dead entries.  Queued jobs may still reference [conn];
@@ -764,15 +877,7 @@ let acceptor_loop t () =
           (if t.cfg.send_timeout > 0. then
              try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.send_timeout
              with Unix.Unix_error _ | Invalid_argument _ -> ());
-          let conn =
-            {
-              fd;
-              ic = Unix.in_channel_of_descr fd;
-              oc = Unix.out_channel_of_descr fd;
-              wlock = Mutex.create ();
-              alive = true;
-            }
-          in
+          let conn = Wire.of_fd fd in
           Mutex.lock t.conns_lock;
           t.conns <- conn :: t.conns;
           t.readers <- Thread.create (reader t) conn :: t.readers;
@@ -843,6 +948,6 @@ let wait t =
   t.conns <- [];
   t.readers <- [];
   Mutex.unlock t.conns_lock;
-  List.iter wake conns;
+  List.iter Wire.wake conns;
   List.iter Thread.join readers;
-  List.iter teardown conns
+  List.iter Wire.teardown conns

@@ -1,17 +1,29 @@
 (** The concurrent query service.
 
     A server owns a loopback TCP listening socket speaking the
-    {!Protocol} wire format, a {!Session} catalog, a {!Cache} of answers,
-    and an executor pool of OCaml domains fed by a bounded admission
-    queue.  Per-connection reader threads parse request lines and enqueue
-    jobs; when the queue is at [queue_depth] the request is rejected
-    immediately with a [busy] error instead of building unbounded backlog.
-    Worker domains pop jobs, evaluate them over the (immutable, shared)
-    session state, and write the reply under a per-connection lock.
+    {!Protocol} wire format — ND-JSON lines, or the binary framing of
+    {!Frame} when a connection's first byte is the frame magic (see
+    {!Wire}) — a {!Session} catalog, a {!Cache} of answers, and an
+    executor pool of OCaml domains fed by a bounded admission queue.
+    Per-connection reader threads parse requests and enqueue jobs; when
+    the queue is at [queue_depth] the request is rejected immediately
+    with a [busy] error instead of building unbounded backlog (framed
+    connections additionally receive a [Credit] frame carrying the free
+    slot count — explicit backpressure).  A [Batch] frame is admitted as
+    one job whose requests execute sequentially and are answered in one
+    [Batch_reply].  Worker domains pop jobs, evaluate them over the
+    (immutable, shared) session state, and write the reply under a
+    per-connection lock.  Malformed frames are answered with a
+    [Proto_error] frame, then the connection is closed.
+
+    A [query] request carrying [range_lo]/[range_hi] evaluates only that
+    contiguous mapping range and returns per-mapping partial answers
+    (algorithm [basic] only) — the shard router's fan-out unit; see
+    lib/shard.
 
     Request latency (admission to reply, seconds) is recorded in the
     ["service"] metrics scope as the [phase.request] timer and in a
-    sliding window from which {!latency_summary} derives p50/p95.
+    sliding window from which {!latency_summary} derives p50/p95/p99.
     Counters: [requests], [cache.{hit,miss,evict}],
     [queue.{depth,rejected}].
 
@@ -58,6 +70,11 @@ val port : t -> int
     tests, examples) open sessions without a round-trip. *)
 val sessions : t -> Session.catalog
 
+(** [answers_json answer limit] the top-[limit] answers exactly as
+    [query] replies serialise them — shared with the shard router, whose
+    merged answers must render byte-identically to a single process. *)
+val answers_json : Urm.Answer.t -> int -> Urm_util.Json.t
+
 (** Begin graceful drain; returns immediately. Idempotent. *)
 val stop : t -> unit
 
@@ -66,5 +83,11 @@ val stop : t -> unit
     [shutdown] request) initiated the drain. *)
 val wait : t -> unit
 
-(** [(count, p50, p95)] over the recent-latency window, seconds. *)
-val latency_summary : t -> int * float * float
+(** [(count, p50, p95, p99)] over the recent-latency window, seconds;
+    all zero while the window is empty. *)
+val latency_summary : t -> int * float * float * float
+
+(** Live connections right now — drops to its old level once misbehaving
+    or departed clients have been torn down (the fuzz suite's leak
+    probe). *)
+val connection_count : t -> int

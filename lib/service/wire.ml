@@ -1,0 +1,76 @@
+type mode = Lines | Frames
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wlock : Mutex.t;
+  mutable alive : bool;
+  mutable mode : mode;
+}
+
+let of_fd fd =
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    wlock = Mutex.create ();
+    alive = true;
+    mode = Lines;
+  }
+
+type event =
+  | Line of string
+  | Framed of Frame.t
+  | Malformed of Frame.error
+  | Eof
+
+let recv t =
+  match input_char t.ic with
+  | exception (End_of_file | Sys_error _) -> Eof
+  | c when c = Frame.magic -> (
+    t.mode <- Frames;
+    match Frame.read_body t.ic with
+    | Ok f -> Framed f
+    | Error e -> Malformed e)
+  | c when t.mode = Frames -> Malformed (Frame.Bad_magic c)
+  | c -> (
+    (* Line mode: [c] is the first byte of a request line. *)
+    match input_line t.ic with
+    | rest -> Line (String.make 1 c ^ rest)
+    | exception (End_of_file | Sys_error _) -> Line (String.make 1 c))
+
+let send_raw t f =
+  Mutex.lock t.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.wlock)
+    (fun () ->
+      if t.alive then
+        try
+          f t.oc;
+          flush t.oc
+        with Sys_error _ | Unix.Unix_error _ -> t.alive <- false)
+
+let send_reply t doc =
+  match t.mode with
+  | Frames -> send_raw t (fun oc -> Frame.write oc (Frame.Reply doc))
+  | Lines ->
+    send_raw t (fun oc ->
+        output_string oc doc;
+        output_char oc '\n')
+
+let send_frame t frame = send_raw t (fun oc -> Frame.write oc frame)
+
+let wake t =
+  Mutex.lock t.wlock;
+  if t.alive then
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  Mutex.unlock t.wlock
+
+let teardown t =
+  Mutex.lock t.wlock;
+  if t.alive then begin
+    t.alive <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock t.wlock

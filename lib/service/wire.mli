@@ -1,0 +1,50 @@
+(** One server-side connection speaking either wire framing.
+
+    A connection starts in line (ND-JSON) mode and is promoted to binary
+    framing the moment its first byte is the frame magic [0xF5] — the
+    negotiation is that single sniffed byte, so old clients keep working
+    unchanged while framed clients get pipelining, batching and credit.
+
+    Writes are serialised by a per-connection lock and never raise: an
+    I/O failure marks the connection dead and later writes become no-ops
+    (the reply to a vanished client is discarded, not fatal).  Both
+    {!Server} and the shard router build their reader loops on {!recv}. *)
+
+type mode = Lines | Frames
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wlock : Mutex.t;
+  mutable alive : bool;
+  mutable mode : mode;
+}
+
+val of_fd : Unix.file_descr -> t
+(** Wrap an accepted socket; mode starts as [Lines] until sniffed. *)
+
+type event =
+  | Line of string  (** one ND-JSON request line (without the newline) *)
+  | Framed of Frame.t
+  | Malformed of Frame.error  (** answer with a proto-error, then close *)
+  | Eof  (** clean close at a message boundary *)
+
+val recv : t -> event
+(** Block for the next inbound event.  The first [0xF5] byte switches the
+    connection to [Frames] permanently. *)
+
+val send_reply : t -> string -> unit
+(** Send one serialised reply document in the connection's mode: a line,
+    or a [Reply] frame. *)
+
+val send_frame : t -> Frame.t -> unit
+(** Send a frame verbatim (framed connections only — callers only reach
+    this from frame-triggered paths). *)
+
+val wake : t -> unit
+(** Unblock a reader parked in [recv] (shutdown both directions); the
+    reader then observes [Eof] and runs {!teardown}. *)
+
+val teardown : t -> unit
+(** Mark dead and close the fd.  Idempotent. *)

@@ -1,0 +1,22 @@
+module Fnv = Urm_util.Fnv
+
+let owner ~shards key =
+  if shards <= 0 then invalid_arg "Hash.owner: shards must be positive";
+  if shards = 1 then 0
+  else begin
+    let base = Fnv.string key in
+    let best = ref 0 and best_w = ref (Fnv.add_int base 0) in
+    for i = 1 to shards - 1 do
+      let w = Fnv.add_int base i in
+      if Int64.unsigned_compare w !best_w > 0 then begin
+        best := i;
+        best_w := w
+      end
+    done;
+    !best
+  end
+
+let ranges ~shards ~h =
+  if shards <= 0 then invalid_arg "Hash.ranges: shards must be positive";
+  if h < 0 then invalid_arg "Hash.ranges: h must be non-negative";
+  Array.init shards (fun i -> (i * h / shards, (i + 1) * h / shards))

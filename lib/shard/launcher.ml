@@ -1,0 +1,134 @@
+type spec = {
+  engine : Urm_relalg.Compile.engine;
+  eval_workers : int;
+  queue_depth : int;
+  cache_capacity : int;
+}
+
+let default_spec =
+  {
+    engine = Urm_relalg.Compile.Vectorized;
+    eval_workers = 2;
+    queue_depth = Urm_service.Server.default_config.Urm_service.Server.queue_depth;
+    cache_capacity =
+      Urm_service.Server.default_config.Urm_service.Server.cache_capacity;
+  }
+
+type proc = { pid : int; port : int }
+
+let exec_if_worker () =
+  match Sys.getenv_opt Worker.env_flag with
+  | Some v when v <> "" -> Worker.run_from_env ()
+  | _ -> ()
+
+let self_exe () =
+  match Unix.readlink "/proc/self/exe" with
+  | exe -> exe
+  | exception (Unix.Unix_error _ | Invalid_argument _) -> Sys.executable_name
+
+let worker_env spec =
+  let keep e =
+    not (String.length e >= 10 && String.equal (String.sub e 0 10) "URM_SHARD_")
+  in
+  let base = Array.to_list (Unix.environment ()) |> List.filter keep in
+  Array.of_list
+    (base
+    @ [
+        Worker.env_flag ^ "=1";
+        Worker.env_engine ^ "=" ^ Urm_relalg.Compile.engine_name spec.engine;
+        Worker.env_eval_workers ^ "=" ^ string_of_int spec.eval_workers;
+        Worker.env_queue_depth ^ "=" ^ string_of_int spec.queue_depth;
+        Worker.env_cache_capacity ^ "=" ^ string_of_int spec.cache_capacity;
+      ])
+
+(* Read the port announcement from the child's stdout pipe, bounded so a
+   child that dies silently (or wedges before binding) cannot hang the
+   router: select for readability, then parse byte-wise up to a newline. *)
+let read_port_line fd ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let buf = Buffer.create 32 in
+  let byte = Bytes.create 1 in
+  let rec loop () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0. then Error "timed out waiting for the worker's port"
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> Error "timed out waiting for the worker's port"
+      | _, _, _ -> (
+        match Unix.read fd byte 0 1 with
+        | 0 -> Error "worker exited before announcing its port"
+        | _ ->
+          if Bytes.get byte 0 = '\n' then begin
+            let line = Buffer.contents buf in
+            match String.index_opt line ' ' with
+            | Some i
+              when String.equal (String.sub line 0 i) "URM_SHARD_PORT" -> (
+              let rest =
+                String.sub line (i + 1) (String.length line - i - 1)
+              in
+              match int_of_string_opt (String.trim rest) with
+              | Some port -> Ok port
+              | None -> Error ("bad port announcement: " ^ line))
+            | _ ->
+              (* Tolerate stray output before the announcement. *)
+              Buffer.clear buf;
+              loop ()
+          end
+          else begin
+            Buffer.add_char buf (Bytes.get byte 0);
+            loop ()
+          end
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let spawn ?(spec = default_spec) () =
+  let exe = self_exe () in
+  match Unix.pipe ~cloexec:true () with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | r, w -> (
+    match
+      Unix.create_process_env exe
+        [| exe; "shard-worker:child" |]
+        (worker_env spec) Unix.stdin w Unix.stderr
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      (try Unix.close w with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+    | pid ->
+      (try Unix.close w with Unix.Unix_error _ -> ());
+      let result = read_port_line r ~timeout:60. in
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      (match result with
+      | Ok port -> Ok { pid; port }
+      | Error msg ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+        Error msg))
+
+let alive p =
+  match Unix.waitpid [ Unix.WNOHANG ] p.pid with
+  | 0, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error _ -> false
+
+let kill p =
+  (try Unix.kill p.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] p.pid) with Unix.Unix_error _ -> ()
+
+let reap ?(timeout = 5.) p =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    match Unix.waitpid [ Unix.WNOHANG ] p.pid with
+    | 0, _ ->
+      if Unix.gettimeofday () >= deadline then kill p
+      else begin
+        Thread.delay 0.05;
+        loop ()
+      end
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ()

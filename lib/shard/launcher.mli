@@ -1,0 +1,47 @@
+(** Worker process lifecycle: spawn, probe, kill.
+
+    Workers are spawned by re-executing the current binary
+    ([/proc/self/exe]) with {!Worker.env_flag} set — NOT by plain
+    [fork]: an OCaml 5 process with running domains and threads cannot
+    safely fork-and-continue (the child inherits locked runtime state),
+    while fork+exec is always safe.  The trade-off is that every entry
+    point that may host a router must call {!exec_if_worker} first thing
+    in [main], before any argument parsing.
+
+    The child's stdout is a pipe; the parent reads the
+    ["URM_SHARD_PORT <n>"] line to learn the worker's ephemeral port,
+    then closes its end. *)
+
+type spec = {
+  engine : Urm_relalg.Compile.engine;
+  eval_workers : int;  (** executor domains inside each worker *)
+  queue_depth : int;
+  cache_capacity : int;
+}
+
+val default_spec : spec
+(** Vectorized engine, 2 executor domains, server-default queue depth
+    and cache capacity. *)
+
+type proc = { pid : int; port : int }
+
+val exec_if_worker : unit -> unit
+(** If {!Worker.env_flag} is present in the environment, become a shard
+    worker and never return.  Call this before anything else in every
+    binary that can start a router (CLI, tests, bench). *)
+
+val spawn : ?spec:spec -> unit -> (proc, string) result
+(** Spawn one worker and wait (bounded) for its port announcement.
+    [Error] when the binary cannot be re-executed or the child dies
+    before announcing. *)
+
+val alive : proc -> bool
+(** Non-blocking liveness probe ([waitpid WNOHANG]); reaps the child if
+    it has exited.  [false] once reaped. *)
+
+val kill : proc -> unit
+(** SIGKILL and reap, best-effort.  Idempotent. *)
+
+val reap : ?timeout:float -> proc -> unit
+(** Wait up to [timeout] (default 5s) for a voluntary exit, then
+    {!kill}. *)

@@ -1,0 +1,68 @@
+(** The shard router: one front-door service process fanning requests
+    over N spawned worker processes.
+
+    Placement — {!Hash}: a session's home shard is the rendezvous hash
+    of its fingerprint; session-state operations ([open-session],
+    [close-session], [mutate]) are applied on the home shard first (its
+    reply is the client's reply), then broadcast to the rest, so every
+    worker holds every session and the [basic] fan-out below can touch
+    all of them.  All other session operations ([topk], [threshold],
+    [approx], [incr] and non-basic [query]s) route whole to the home
+    shard — the same deterministic code over the same deterministic
+    state, hence byte-identical to a single-process server.
+
+    [query] with algorithm [basic] fans out: each shard evaluates a
+    contiguous mapping range ([range_lo]/[range_hi], see {!Server}) and
+    returns per-mapping partial answers; the router merges them in
+    ascending mapping order — exactly the [urm_par] per-item merge
+    discipline — so the recombined answer is bit-identical to sequential
+    evaluation at any shard count (JSON floats render as %.17g and
+    round-trip exactly).
+
+    Lifecycle: workers are spawned at {!start} ({!Launcher}); a health
+    thread reaps crashed workers and respawns them, replaying every
+    session open and the full ordered mutation log so the replacement
+    converges to the fleet state.  A request that hits a dead worker is
+    retried once against the respawned one; if that also fails the
+    client receives a typed [shard_unavailable] error.  Mutation batches
+    are logged before the broadcast, so a worker that died mid-broadcast
+    replays the batch it missed.
+
+    The router's own wire behaviour matches the server's: ND-JSON or
+    binary frames by first-byte sniffing, batch frames, credit
+    backpressure, proto-error-then-close on malformed frames. *)
+
+type config = {
+  host : string;
+  port : int;  (** [0] binds an ephemeral port *)
+  shards : int;  (** worker processes, [>= 1] *)
+  forwarders : int;  (** router-side executor threads *)
+  queue_depth : int;
+  respawn : bool;  (** health thread respawns crashed workers *)
+  worker : Launcher.spec;
+}
+
+val default_config : config
+(** 2 shards, 4 forwarders, queue depth 64, respawn on. *)
+
+type t
+
+val start : config -> (t, string) result
+(** Spawn the workers, bind and serve.  [Error] when a worker cannot be
+    spawned (any already-spawned ones are killed). *)
+
+val port : t -> int
+
+val worker_pids : t -> int list
+(** Live worker pids, by shard index — the fault-injection tests'
+    SIGKILL targets. *)
+
+val restarts : t -> int
+(** Total worker respawns so far. *)
+
+val stop : t -> unit
+(** Begin shutdown: drain workers (wire [shutdown]), stop accepting.
+    Idempotent. *)
+
+val wait : t -> unit
+(** Block until the router has stopped and every worker is reaped. *)

@@ -1,0 +1,68 @@
+module Server = Urm_service.Server
+
+let env_flag = "URM_SHARD_WORKER"
+let env_engine = "URM_SHARD_ENGINE"
+let env_eval_workers = "URM_SHARD_EVAL_WORKERS"
+let env_queue_depth = "URM_SHARD_QUEUE_DEPTH"
+let env_cache_capacity = "URM_SHARD_CACHE_CAPACITY"
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+
+let serve ~watchdog (cfg : Server.config) =
+  (* The router drives shutdown over the wire; a SIGTERM (operator or
+     router cleanup path) drains gracefully too. *)
+  let server = Server.start cfg in
+  (try
+     Sys.set_signal Sys.sigterm
+       (Sys.Signal_handle (fun _ -> Server.stop server))
+   with Invalid_argument _ -> ());
+  (* A worker must not outlive its router: when the parent dies without
+     a goodbye (SIGKILL, crash), getppid flips to the reaper and the
+     worker exits rather than leak. *)
+  if watchdog then begin
+    let parent = Unix.getppid () in
+    ignore
+      (Thread.create
+         (fun () ->
+           while Unix.getppid () = parent do
+             Thread.delay 0.5
+           done;
+           exit 1)
+         ())
+  end;
+  Printf.printf "URM_SHARD_PORT %d\n%!" (Server.port server);
+  Server.wait server;
+  exit 0
+
+let run_from_env () =
+  (* SIGINT at the terminal hits the whole process group; only the
+     router (or its operator) decides when workers die. *)
+  (try Sys.set_signal Sys.sigint Sys.Signal_ignore with Invalid_argument _ -> ());
+  let engine =
+    match Sys.getenv_opt env_engine with
+    | None | Some "" -> Server.default_config.Server.engine
+    | Some s -> (
+      match Urm_relalg.Compile.engine_of_string s with
+      | Ok e -> e
+      | Error _ -> Server.default_config.Server.engine)
+  in
+  serve ~watchdog:true
+    {
+      Server.default_config with
+      Server.port = 0;
+      workers = env_int env_eval_workers 2;
+      queue_depth = env_int env_queue_depth Server.default_config.Server.queue_depth;
+      cache_capacity =
+        env_int env_cache_capacity Server.default_config.Server.cache_capacity;
+      engine;
+    }
+
+let run ?(port = 0) ?engine () =
+  let engine =
+    Option.value ~default:Server.default_config.Server.engine engine
+  in
+  serve ~watchdog:false
+    { Server.default_config with Server.port; workers = 2; engine }

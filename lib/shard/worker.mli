@@ -1,0 +1,27 @@
+(** A shard worker: one ordinary {!Urm_service.Server} in a child
+    process, configured through environment variables set by
+    {!Launcher.spawn}.
+
+    The worker binds an ephemeral loopback port and prints
+    ["URM_SHARD_PORT <n>"] on stdout (the pipe the parent reads), then
+    serves until the router sends [shutdown] — plus two safety nets: an
+    orphan watchdog exits when the parent process disappears, and
+    SIGTERM triggers a graceful drain. *)
+
+val env_flag : string
+(** ["URM_SHARD_WORKER"] — presence in the environment means this
+    process must run as a worker (see {!Launcher.exec_if_worker}). *)
+
+val env_engine : string
+val env_eval_workers : string
+val env_queue_depth : string
+val env_cache_capacity : string
+
+val run_from_env : unit -> 'a
+(** Run the worker as configured by the environment; never returns
+    (calls [exit]). *)
+
+val run : ?port:int -> ?engine:Urm_relalg.Compile.engine -> unit -> 'a
+(** [run ()] the [urm shard-worker] entry point: same lifecycle, but
+    configured by arguments and without the orphan watchdog (the process
+    was started by hand). *)

@@ -37,6 +37,8 @@ let percentile p xs =
     arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
   end
 
+let percentile_or_zero p = function [] -> 0. | xs -> percentile p xs
+
 (* Acklam's rational approximation of the standard normal quantile Φ⁻¹:
    absolute error < 1.15e-9 over (0, 1) — far below the sampling noise any
    confidence-interval user faces. *)

@@ -23,6 +23,12 @@ val stddev : float list -> float
     sorted data.  Raises [Invalid_argument] on an empty list. *)
 val percentile : float -> float list -> float
 
+(** [percentile_or_zero p xs] like {!percentile} but total: [0.] on an
+    empty list — the convention for latency windows that may not have
+    filled yet (a ring with [filled = 0] reports 0, never raises, so a
+    metrics roll-up over idle shards is safe). *)
+val percentile_or_zero : float -> float list -> float
+
 (** [normal_quantile p] the standard normal quantile Φ⁻¹(p) for [p] in
     (0, 1) (Acklam's rational approximation, |error| < 1.2e-9).  The
     two-sided critical value for confidence 1−δ is

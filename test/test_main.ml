@@ -1,3 +1,7 @@
+(* First, before Alcotest touches argv: the shard tests spawn worker
+   processes by re-executing this binary with URM_SHARD_WORKER set. *)
+let () = Urm_shard.Launcher.exec_if_worker ()
+
 let () =
   Alcotest.run "urm"
     [
@@ -21,4 +25,6 @@ let () =
       ("plan", Test_plan.suite);
       ("anytime", Test_anytime.suite);
       ("incr", Test_incr.suite);
+      ("frame", Test_frame.suite);
+      ("shard", Test_shard.suite);
     ]

@@ -93,6 +93,33 @@ let test_percentile_empty () =
     (Invalid_argument "Stats.percentile: empty input") (fun () ->
       ignore (Stats.percentile 0.5 []))
 
+let test_percentile_or_zero () =
+  (* The total variant: an empty window (the server's latency ring before
+     any request) reads as 0 instead of raising. *)
+  Alcotest.(check (float 1e-9)) "empty is zero" 0. (Stats.percentile_or_zero 0.99 []);
+  Alcotest.(check (float 1e-9)) "single sample" 42.
+    (Stats.percentile_or_zero 0.5 [ 42. ]);
+  Alcotest.(check (float 1e-9)) "single sample, extreme p" 42.
+    (Stats.percentile_or_zero 0.99 [ 42. ]);
+  (* Ties: every percentile of a constant list is that constant. *)
+  let ties = [ 7.; 7.; 7.; 7. ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "ties at p=%g" p)
+        7.
+        (Stats.percentile_or_zero p ties))
+    [ 0.; 0.5; 0.95; 1. ];
+  (* And it agrees with the raising variant on non-empty input. *)
+  let xs = [ 5.; 1.; 3.; 2.; 4. ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "agrees at p=%g" p)
+        (Stats.percentile p xs)
+        (Stats.percentile_or_zero p xs))
+    [ 0.; 0.25; 0.5; 0.75; 1. ]
+
 let test_histogram_top_edge () =
   (* x = hi must land in the last bucket, not fall off the end. *)
   let counts = Stats.histogram ~buckets:4 [ 0.; 1.; 2.; 3.; 4. ] in
@@ -184,6 +211,8 @@ let suite =
     Alcotest.test_case "heap empty" `Quick test_heap_empty;
     Alcotest.test_case "percentile single" `Quick test_percentile_single;
     Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+    Alcotest.test_case "percentile_or_zero edge cases" `Quick
+      test_percentile_or_zero;
     Alcotest.test_case "histogram top edge" `Quick test_histogram_top_edge;
     Alcotest.test_case "histogram all equal" `Quick test_histogram_all_equal;
     Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
