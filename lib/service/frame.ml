@@ -71,15 +71,18 @@ let add_varint buf n =
   done
 
 (* [read_varint byte] where [byte] yields the next input byte; raises
-   [Err] on overlong encodings (9 bytes bound every frame length and
-   credit value far beyond [max_payload]). *)
+   [Err] on overlong encodings. Five bytes (35 value bits) bound every
+   frame length, batch count and credit value far beyond [max_payload],
+   and the cap keeps a crafted 9-byte encoding (0x80 x8 then a high
+   final byte) from overflowing OCaml's 63-bit int into a negative
+   length that would slip past the [> max_payload] checks. *)
 let read_varint byte =
   let value = ref 0 and shift = ref 0 and count = ref 0 in
   let continue = ref true in
   while !continue do
     let b = Char.code (byte ()) in
     incr count;
-    if !count > 9 then raise (Err (Oversized max_int));
+    if !count > 5 then raise (Err (Oversized max_int));
     value := !value lor ((b land 0x7F) lsl !shift);
     shift := !shift + 7;
     continue := b land 0x80 <> 0
@@ -226,7 +229,7 @@ let decode ?(pos = 0) s =
     if crc <> Urm_util.Crc32.digest ~pos ~len:header_len s then
       raise (Err Bad_crc);
     if ver <> version then raise (Err (Bad_version ver));
-    if len > max_payload then raise (Err (Oversized len));
+    if len < 0 || len > max_payload then raise (Err (Oversized len));
     if !i + len > n then raise (Err Truncated);
     let payload = String.sub s !i len in
     i := !i + len;
@@ -258,7 +261,7 @@ let read_body ic =
     in
     if crc <> expect then raise (Err Bad_crc);
     if ver <> version then raise (Err (Bad_version ver));
-    if len > max_payload then raise (Err (Oversized len));
+    if len < 0 || len > max_payload then raise (Err (Oversized len));
     if tag < 0x01 || tag > 0x08 then raise (Err (Bad_tag tag));
     let payload = really_input_string ic len in
     Ok (frame_of_tag tag payload)

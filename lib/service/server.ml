@@ -116,6 +116,13 @@ let stop t =
 type failure =
   [ `Bad of string | `Not_found of string | `Conflict of string | `Error of string ]
 
+(* Raised inside a snapshot compute when a partial-range query's bounds
+   fall outside the snapshot's mapping set — the caller's cached mapping
+   count is behind a concurrent mutate.  {!reply_of} surfaces it as the
+   typed "stale_range" error code so the shard router can refresh and
+   retry without parsing message text. *)
+exception Stale_range of string
+
 let algorithm_of_string = function
   | "basic" -> Ok Urm.Algorithms.Basic
   | "e-basic" -> Ok Urm.Algorithms.Ebasic
@@ -213,8 +220,9 @@ let exec_query_partial t session q ~alg_name ~lo ~hi : (Json.t, failure) result 
            and mappings = snap.Urm_incr.Vcatalog.mappings in
            let n = List.length mappings in
            if hi > n then
-             failwith
-               (Printf.sprintf "range [%d, %d) outside the %d mappings" lo hi n);
+             raise
+               (Stale_range
+                  (Printf.sprintf "range [%d, %d) outside the %d mappings" lo hi n));
            let header = Urm.Reformulate.output_header q in
            let ms = Array.of_list mappings in
            let parts =
@@ -704,6 +712,7 @@ let reply_of t (req : Protocol.request) =
   | Error (`Not_found m) -> Protocol.error ~id ~code:"not_found" m
   | Error (`Conflict m) -> Protocol.error ~id ~code:"conflict" m
   | Error (`Error m) -> Protocol.error ~id ~code:"error" m
+  | exception Stale_range m -> Protocol.error ~id ~code:"stale_range" m
   | exception Failure m -> Protocol.error ~id ~code:"bad_request" m
   | exception Invalid_argument m -> Protocol.error ~id ~code:"bad_request" m
   | exception Not_found -> Protocol.error ~id ~code:"not_found" "not found"

@@ -31,15 +31,41 @@ let default_config =
 
 (* What the router remembers about a session — enough to rebuild a
    crashed worker's copy from scratch: the open parameters, plus every
-   committed mutation batch in order.  [sh] is the current mapping count
-   (the fan-out range bound), refreshed after mapping-set mutations. *)
+   committed mutation batch.  The log stores the home shard's *resolved*
+   batches (ids assigned, rows coerced) so a replay does not depend on
+   re-running mutation resolution, and it is kept newest-first so a
+   commit is an O(1) cons; {!replay} reverses it.  [sh] is the current
+   mapping count (the fan-out range bound), refreshed after mapping-set
+   mutations. *)
 type sess = {
   sname : string;
   mutable sfp : string;  (** fingerprint — the placement key *)
   mutable sh : int;
   sopen : (string * Json.t) list;
-  mutable slog : Json.t list;  (** mutation batches, oldest first *)
+  mutable slog : Json.t list;  (** resolved mutation batches, newest first *)
 }
+
+(* Keep the replay log short: past [slog_cap] batches, squash everything
+   into one concatenated batch.  A "mutate" commit applies its mutations
+   in order atomically, so replaying the squashed batch reaches the same
+   catalog and mapping state as replaying the originals one by one (only
+   the rebuilt worker's epoch counter differs, never answer content).
+   This bounds both the per-commit append cost and the number of replay
+   round-trips; memory stays proportional to the total mutation count,
+   which is inherent to log-based replay. *)
+let slog_cap = 32
+
+let log_batch (s : sess) batch =
+  let slog = batch :: s.slog in
+  s.slog <-
+    (if List.length slog <= slog_cap then slog
+     else
+       let items =
+         List.concat_map
+           (function Json.Arr xs -> xs | j -> [ j ])
+           (List.rev slog)
+       in
+       [ Json.Arr items ])
 
 type slot = {
   index : int;
@@ -143,32 +169,31 @@ let connect_worker (p : Launcher.proc) =
 let slot_call t slot ~op params =
   ignore t;
   Mutex.lock slot.slock;
-  let client =
-    match slot.cl with
-    | Some c -> Ok c
-    | None -> (
-      match slot.proc with
-      | Some p when Launcher.alive p -> (
-        match connect_worker p with
-        | c ->
-          slot.cl <- Some c;
-          Ok c
-        | exception _ -> Error "cannot reconnect to the worker")
-      | _ -> Error "worker process is down")
-  in
-  let r =
-    match client with
-    | Error m -> Error ("transport", m)
-    | Ok c -> (
-      match Client.call c ~op params with
-      | Error ("transport", m) ->
-        (try Client.close c with _ -> ());
-        slot.cl <- None;
-        Error ("transport", m)
-      | r -> r)
-  in
-  Mutex.unlock slot.slock;
-  r
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock slot.slock)
+    (fun () ->
+      let client =
+        match slot.cl with
+        | Some c -> Ok c
+        | None -> (
+          match slot.proc with
+          | Some p when Launcher.alive p -> (
+            match connect_worker p with
+            | c ->
+              slot.cl <- Some c;
+              Ok c
+            | exception _ -> Error "cannot reconnect to the worker")
+          | _ -> Error "worker process is down")
+      in
+      match client with
+      | Error m -> Error ("transport", m)
+      | Ok c -> (
+        match Client.call c ~op params with
+        | Error ("transport", m) ->
+          (try Client.close c with _ -> ());
+          slot.cl <- None;
+          Error ("transport", m)
+        | r -> r))
 
 let sessions_snapshot t =
   Mutex.lock t.sess_lock;
@@ -197,7 +222,7 @@ let replay t c =
               Error (Printf.sprintf "replay mutate %s: %s: %s" s.sname code m)
             | Ok _ -> mutations more)
         in
-        match mutations s.slog with
+        match mutations (List.rev s.slog) with
         | Error _ as e -> e
         | Ok () -> each rest))
   in
@@ -207,14 +232,16 @@ let replay t c =
    (a concurrent retry or the health thread beat us to it). *)
 let respawn_slot t slot =
   Mutex.lock slot.slock;
-  let healthy =
-    Option.is_some slot.cl
-    && (match slot.proc with Some p -> Launcher.alive p | None -> false)
-  in
-  let result =
-    if healthy then Ok ()
-    else if is_stopping t then Error "router is stopping"
-    else begin
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock slot.slock)
+    (fun () ->
+      let healthy =
+        Option.is_some slot.cl
+        && (match slot.proc with Some p -> Launcher.alive p | None -> false)
+      in
+      if healthy then Ok ()
+      else if is_stopping t then Error "router is stopping"
+      else begin
       (match slot.cl with
       | Some c ->
         (try Client.close c with _ -> ());
@@ -243,16 +270,13 @@ let respawn_slot t slot =
             slot.cl <- Some c;
             Atomic.incr t.restarts_n;
             Ok ()))
-    end
-  in
-  Mutex.unlock slot.slock;
-  result
+    end)
 
 let ensure_worker t slot =
   Mutex.lock t.admin_lock;
-  let r = respawn_slot t slot in
-  Mutex.unlock t.admin_lock;
-  r
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.admin_lock)
+    (fun () -> respawn_slot t slot)
 
 (* The client-facing discipline: one transparent retry against a freshly
    respawned worker, then a typed [shard_unavailable].  [respawn]
@@ -330,49 +354,47 @@ let exec_open t (req : Protocol.request) =
   let id = req.Protocol.id in
   let params = params_of req in
   Mutex.lock t.admin_lock;
-  let reply =
-    let home = route_slot t req in
-    match call_admin t home ~op:"open-session" params with
-    | Error (code, m) -> Protocol.error ~id ~code m
-    | Ok result ->
-      let str k = match Json.member k result with Some (Json.Str s) -> Some s | _ -> None in
-      let int k =
-        match Json.member k result with Some (Json.Num f) -> Some (int_of_float f) | _ -> None
-      in
-      (match (str "session", str "fingerprint", int "mappings") with
-      | Some name, Some fp, Some h ->
-        Mutex.lock t.sess_lock;
-        (if not (Hashtbl.mem t.sessions name) then
-           Hashtbl.replace t.sessions name
-             { sname = name; sfp = fp; sh = h; sopen = params; slog = [] });
-        Mutex.unlock t.sess_lock
-      | _ -> ());
-      broadcast_rest t ~home ~op:"open-session" params;
-      Protocol.ok ~id result
-  in
-  Mutex.unlock t.admin_lock;
-  reply
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.admin_lock)
+    (fun () ->
+      let home = route_slot t req in
+      match call_admin t home ~op:"open-session" params with
+      | Error (code, m) -> Protocol.error ~id ~code m
+      | Ok result ->
+        let str k = match Json.member k result with Some (Json.Str s) -> Some s | _ -> None in
+        let int k =
+          match Json.member k result with Some (Json.Num f) -> Some (int_of_float f) | _ -> None
+        in
+        (match (str "session", str "fingerprint", int "mappings") with
+        | Some name, Some fp, Some h ->
+          Mutex.lock t.sess_lock;
+          (if not (Hashtbl.mem t.sessions name) then
+             Hashtbl.replace t.sessions name
+               { sname = name; sfp = fp; sh = h; sopen = params; slog = [] });
+          Mutex.unlock t.sess_lock
+        | _ -> ());
+        broadcast_rest t ~home ~op:"open-session" params;
+        Protocol.ok ~id result)
 
 let exec_close t (req : Protocol.request) =
   let id = req.Protocol.id in
   let params = params_of req in
   Mutex.lock t.admin_lock;
-  let reply =
-    let home = route_slot t req in
-    match call_admin t home ~op:"close-session" params with
-    | Error (code, m) -> Protocol.error ~id ~code m
-    | Ok result ->
-      (match Protocol.str_param req "session" with
-      | Some name ->
-        Mutex.lock t.sess_lock;
-        Hashtbl.remove t.sessions name;
-        Mutex.unlock t.sess_lock
-      | None | (exception Failure _) -> ());
-      broadcast_rest t ~home ~op:"close-session" params;
-      Protocol.ok ~id result
-  in
-  Mutex.unlock t.admin_lock;
-  reply
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.admin_lock)
+    (fun () ->
+      let home = route_slot t req in
+      match call_admin t home ~op:"close-session" params with
+      | Error (code, m) -> Protocol.error ~id ~code m
+      | Ok result ->
+        (match Protocol.str_param req "session" with
+        | Some name ->
+          Mutex.lock t.sess_lock;
+          Hashtbl.remove t.sessions name;
+          Mutex.unlock t.sess_lock
+        | None | (exception Failure _) -> ());
+        broadcast_rest t ~home ~op:"close-session" params;
+        Protocol.ok ~id result)
 
 (* Refresh the cached mapping count after a mapping-set mutation: ask the
    home worker's session listing. *)
@@ -395,42 +417,48 @@ let exec_mutate t (req : Protocol.request) =
   let id = req.Protocol.id in
   let params = params_of req in
   Mutex.lock t.admin_lock;
-  let reply =
-    let home = route_slot t req in
-    let sess =
-      match Protocol.str_param req "session" with
-      | Some name -> find_sess t name
-      | None | (exception Failure _) -> None
-    in
-    match call_admin t home ~op:"mutate" params with
-    | Error (code, m) -> Protocol.error ~id ~code m
-    | Ok result ->
-      (* Log before broadcasting: a worker that dies mid-broadcast is
-         replayed from the log, this batch included, so the fleet
-         converges even through the crash. *)
-      (match (sess, Protocol.param req "mutations") with
-      | Some s, Some batch -> s.slog <- s.slog @ [ batch ]
-      | _ -> ());
-      broadcast_rest t ~home ~op:"mutate" params;
-      (match (sess, Json.member "mappings_changed" result) with
-      | Some s, Some (Json.Bool true) -> refresh_h t home s
-      | _ -> ());
-      Protocol.ok ~id result
-  in
-  Mutex.unlock t.admin_lock;
-  reply
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.admin_lock)
+    (fun () ->
+      let home = route_slot t req in
+      let sess =
+        match Protocol.str_param req "session" with
+        | Some name -> find_sess t name
+        | None | (exception Failure _) -> None
+      in
+      match call_admin t home ~op:"mutate" params with
+      | Error (code, m) -> Protocol.error ~id ~code m
+      | Ok result ->
+        (* The home reply echoes the batch it committed, resolved (rows
+           coerced, mapping ids assigned); log and broadcast that form so
+           replicas and replays never depend on re-running resolution.
+           Log before broadcasting: a worker that dies mid-broadcast is
+           replayed from the log, this batch included, so the fleet
+           converges even through the crash. *)
+        let batch =
+          match Json.member "mutations" result with
+          | Some (Json.Arr _ as resolved) -> Some resolved
+          | _ -> Protocol.param req "mutations"
+        in
+        (match (sess, batch) with
+        | Some s, Some batch -> log_batch s batch
+        | _ -> ());
+        let bparams =
+          match batch with
+          | None -> params
+          | Some b ->
+            List.map
+              (fun (k, v) -> if String.equal k "mutations" then (k, b) else (k, v))
+              params
+        in
+        broadcast_rest t ~home ~op:"mutate" bparams;
+        (match (sess, Json.member "mappings_changed" result) with
+        | Some s, Some (Json.Bool true) -> refresh_h t home s
+        | _ -> ());
+        Protocol.ok ~id result)
 
 (* ------------------------------------------------------------------ *)
 (* The basic-algorithm fan-out *)
-
-(* The server's stale-range error reads "range [lo, hi) outside the n
-   mappings" — the signal that our cached mapping count is behind. *)
-let contains_outside msg =
-  let n = String.length msg and m = String.length "outside" in
-  let rec scan i =
-    i + m <= n && (String.equal (String.sub msg i m) "outside" || scan (i + 1))
-  in
-  scan 0
 
 let answers_limit req =
   Option.value ~default:20 (Protocol.int_param req "answers")
@@ -474,7 +502,13 @@ let fan_basic t (s : sess) (req : Protocol.request) =
   let base_params = params_of req in
   let attempt h =
     let ranges = Hash.ranges ~shards ~h in
-    let results = Array.make shards (Ok Json.Null) in
+    (* The sentinel must be an [Error]: a fan-out thread that dies from
+       an uncaught exception leaves its slot untouched, and an [Ok]
+       sentinel would be silently dropped from the merge as if the range
+       were empty.  Only the genuine hi <= lo case writes [Ok Null]. *)
+    let results =
+      Array.make shards (Error ("internal", "shard fan-out thread died"))
+    in
     let threads =
       Array.mapi
         (fun i (lo, hi) ->
@@ -483,13 +517,15 @@ let fan_basic t (s : sess) (req : Protocol.request) =
               results.(i) <-
                 (if hi <= lo then Ok Json.Null
                  else
-                   call_with_retry t t.slots.(i) ~op:"query"
-                     (base_params
-                     @ [
-                         ("algorithm", Json.Str "basic");
-                         ("range_lo", Json.Num (float_of_int lo));
-                         ("range_hi", Json.Num (float_of_int hi));
-                       ])))
+                   try
+                     call_with_retry t t.slots.(i) ~op:"query"
+                       (base_params
+                       @ [
+                           ("algorithm", Json.Str "basic");
+                           ("range_lo", Json.Num (float_of_int lo));
+                           ("range_hi", Json.Num (float_of_int hi));
+                         ])
+                   with exn -> Error ("internal", Printexc.to_string exn)))
             ())
         ranges
     in
@@ -497,20 +533,19 @@ let fan_basic t (s : sess) (req : Protocol.request) =
     results
   in
   let results = attempt s.sh in
-  (* A stale mapping count (a mutate raced this query) surfaces as a
-     range error; refresh and retry once. *)
+  (* A stale mapping count (a mutate raced this query) surfaces as the
+     worker's typed [stale_range] error; refresh and retry once. *)
   let results =
     let stale =
       Array.exists
-        (function
-          | Error ("bad_request", m) -> contains_outside m
-          | _ -> false)
+        (function Error ("stale_range", _) -> true | _ -> false)
         results
     in
     if stale then begin
       Mutex.lock t.admin_lock;
-      refresh_h t (t.slots.(Hash.owner ~shards s.sfp)) s;
-      Mutex.unlock t.admin_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.admin_lock)
+        (fun () -> refresh_h t (t.slots.(Hash.owner ~shards s.sfp)) s);
       attempt s.sh
     end
     else results
@@ -631,24 +666,31 @@ let exec_shutdown t =
   stop t;
   Json.Obj [ ("draining", Json.Bool true) ]
 
+(* The guard mirrors {!Urm_service.Server.reply_of}: forwarder threads
+   are never respawned, so an exception escaping any branch — not just
+   "query" — would permanently shrink the pool and silently drop the
+   client's reply.  Every op must reduce to a typed reply. *)
 let execute t (req : Protocol.request) : string =
   let id = req.Protocol.id in
-  match req.Protocol.op with
-  | "ping" -> Protocol.ok ~id (Json.Obj [ ("pong", Json.Bool true) ])
-  | "metrics" -> Protocol.ok ~id (exec_metrics t)
-  | "shutdown" -> Protocol.ok ~id (exec_shutdown t)
-  | "open-session" -> exec_open t req
-  | "close-session" -> exec_close t req
-  | "mutate" -> exec_mutate t req
-  | "query" -> (
-    match exec_query t req with
-    | reply -> reply
-    | exception Failure m -> Protocol.error ~id ~code:"bad_request" m
-    | exception exn -> Protocol.error ~id ~code:"error" (Printexc.to_string exn))
-  | _other ->
-    (* sessions, topk, threshold, approx, unknown ops: whole-request
-       forwarding keeps replies byte-identical to a single process. *)
-    forward t (route_slot t req) req
+  match
+    match req.Protocol.op with
+    | "ping" -> Protocol.ok ~id (Json.Obj [ ("pong", Json.Bool true) ])
+    | "metrics" -> Protocol.ok ~id (exec_metrics t)
+    | "shutdown" -> Protocol.ok ~id (exec_shutdown t)
+    | "open-session" -> exec_open t req
+    | "close-session" -> exec_close t req
+    | "mutate" -> exec_mutate t req
+    | "query" -> exec_query t req
+    | _other ->
+      (* sessions, topk, threshold, approx, unknown ops: whole-request
+         forwarding keeps replies byte-identical to a single process. *)
+      forward t (route_slot t req) req
+  with
+  | reply -> reply
+  | exception Failure m -> Protocol.error ~id ~code:"bad_request" m
+  | exception Invalid_argument m -> Protocol.error ~id ~code:"bad_request" m
+  | exception Not_found -> Protocol.error ~id ~code:"not_found" "not found"
+  | exception exn -> Protocol.error ~id ~code:"error" (Printexc.to_string exn)
 
 (* ------------------------------------------------------------------ *)
 (* Front door: admission, forwarder pool, acceptor — the same loop

@@ -25,8 +25,9 @@
     converges to the fleet state.  A request that hits a dead worker is
     retried once against the respawned one; if that also fails the
     client receives a typed [shard_unavailable] error.  Mutation batches
-    are logged before the broadcast, so a worker that died mid-broadcast
-    replays the batch it missed.
+    are logged — in the home shard's resolved form, as echoed by its
+    commit reply — before the broadcast, so a worker that died
+    mid-broadcast replays the batch it missed.
 
     The router's own wire behaviour matches the server's: ND-JSON or
     binary frames by first-byte sniffing, batch frames, credit

@@ -45,6 +45,21 @@ let craft ?(version = Frame.version) ?declared_len ?(bad_crc = false) ~tag
   Buffer.add_string buf payload;
   Buffer.contents buf
 
+(* The 63-bit overflow attack: a 9-byte LEB128 length (0x80 x8 then
+   0x40) would decode to 2^62 and wrap negative under further shifts if
+   accepted, slipping past the [> max_payload] check into the payload
+   read.  The decoder's varint byte cap must reject it even with an
+   honest CRC on the header. *)
+let overflow_len_frame =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf Frame.magic;
+  Buffer.add_string buf "\x80\x80\x80\x80\x80\x80\x80\x80\x40";
+  Buffer.add_char buf (Char.chr Frame.version);
+  Buffer.add_char buf '\x03';
+  let crc = Urm_util.Crc32.digest (Buffer.contents buf) in
+  add_be32 buf crc;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Round-trips *)
 
@@ -136,6 +151,10 @@ let test_decode_errors () =
     (craft ~declared_len:1000 ~tag:0x03 "{}");
   expect_error "overlong varint length" "frame_too_large"
     (String.make 1 Frame.magic ^ String.make 10 '\xFF');
+  expect_error "63-bit overflow varint, honest crc" "frame_too_large"
+    overflow_len_frame;
+  expect_error "five-byte length beyond the limit" "frame_too_large"
+    (craft ~declared_len:(1 lsl 28) ~tag:0x03 "");
   (* Header checks run before the payload is interpreted: a bad CRC wins
      over the version, the version over the tag. *)
   expect_error "crc beats version" "bad_crc"
@@ -296,6 +315,8 @@ let test_server_survives_fuzz () =
   must_err "bad tag is reported" (craft ~tag:0x55 "{}") "bad_tag";
   must_err "oversized is reported"
     (craft ~declared_len:(Frame.max_payload + 1) ~tag:0x03 "")
+    "frame_too_large";
+  must_err "overflowing varint length is reported" overflow_len_frame
     "frame_too_large";
   (* A pipelined request followed by garbage: the garbage must yield the
      typed error; the request's reply races the reader's close (the

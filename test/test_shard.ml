@@ -226,6 +226,28 @@ let test_batch_pipelining () =
           (List.length replies))
     f.routers
 
+(* A partial-range query beyond the live mapping count must surface the
+   worker's typed [stale_range] error — the router's refresh-and-retry
+   keys off this code, so it must never regress into a generic
+   bad_request whose message the router would have to parse. *)
+let test_stale_range_is_typed () =
+  let f = Lazy.force fixture in
+  let params =
+    query_params "Q1" "basic"
+    @ [ ("range_lo", Json.Num 0.); ("range_hi", Json.Num 999.) ]
+  in
+  List.iter
+    (fun (label, c) ->
+      match Client.call c ~op:"query" params with
+      | Error ("stale_range", _) -> ()
+      | Error (code, m) ->
+        Alcotest.failf "%s: wanted stale_range, got %s: %s" label code m
+      | Ok _ -> Alcotest.failf "%s: out-of-range query succeeded" label)
+    (("oracle", f.c_oracle)
+    :: List.map
+         (fun (shards, _, c) -> (Printf.sprintf "%d-shard router" shards, c))
+         f.routers)
+
 (* ------------------------------------------------------------------ *)
 (* Mutation rounds through the router, differential against the oracle *)
 
@@ -398,6 +420,8 @@ let suite =
       test_topk_threshold_differential;
     Alcotest.test_case "batch frames pipeline through the router" `Slow
       test_batch_pipelining;
+    Alcotest.test_case "stale range is a typed error" `Slow
+      test_stale_range_is_typed;
     Alcotest.test_case "mutation rounds stay in lockstep" `Slow
       test_mutation_rounds;
     Alcotest.test_case "metrics roll up across the fleet" `Slow
