@@ -326,6 +326,205 @@ let run_eval quick engine_opt =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 1c': the sharing sweep (id "share").
+
+   The factorized multi-mapping executor's headline: the sharing
+   algorithms (e-basic, e-MQO, q-sharing, o-sharing) on the plan engines
+   run one vectorized pass over the distinct e-units for all h mappings,
+   instead of re-interpreting per unit.  Per algorithm × engine × h, times
+   Q4 on the pipeline workload and checks the answer against the
+   interpreted e-basic oracle of the same h — byte-for-byte on the rendered
+   JSON for the sharing algorithms (they all accumulate per mapping in
+   ascending mapping order, so even the float bits must agree), and with
+   [Answer.equal ~eps] for basic (it groups the same additions per mapping
+   instead of per e-unit, so last-ulp float bits legitimately differ).  Any
+   divergence exits non-zero, so the factorized path cannot silently
+   drift.  Each row records the report's effective engine
+   ("vectorized+factorized" on the sharing algorithms' plan-engine path).
+
+   The perf gate (full sweep only, where h=300 exists): factorized e-MQO
+   must beat vectorized basic wall-clock and interpreted e-MQO by ≥ 5×,
+   measured as the min of 3 fresh runs per configuration — the min is the
+   noise-robust statistic; single-shot row timings on a shared box jitter
+   by 20%+, which a 5× threshold cannot absorb. *)
+
+let share_file = "BENCH_share.json"
+
+let run_share quick =
+  let module E = Urm_workload.Experiments in
+  let cfg = if quick then E.quick else E.default in
+  let h_sweep = if quick then [ 8; 32 ] else [ 32; 100; 300 ] in
+  let sharing =
+    [
+      Urm.Algorithms.Ebasic;
+      Urm.Algorithms.Emqo;
+      Urm.Algorithms.Qsharing;
+      Urm.Algorithms.Osharing Urm.Eunit.Sef;
+    ]
+  in
+  let target, q = Urm_workload.Queries.default in
+  let p = Urm_workload.Pipeline.create ~seed:cfg.E.seed ~scale:cfg.E.scale () in
+  let mismatch = ref false in
+  Format.printf "=== sharing sweep (Q4, factorized vs interpreted) ===@.@.";
+  let row alg engine h ms ~compare ~oracle =
+    let ctx = Urm_workload.Pipeline.ctx ~engine p target in
+    let report = ref None in
+    let secs =
+      Urm_util.Timer.repeat ~warmup:0 ~runs:cfg.E.runs (fun () ->
+          report := Some (E.run_alg cfg alg ctx q ms))
+    in
+    let report = Option.get !report in
+    let answer = report.Urm.Report.answer in
+    let rendered = Urm_util.Json.to_string (Urm.Answer.to_json answer) in
+    let matches =
+      match !oracle with
+      | None ->
+        oracle := Some (answer, rendered);
+        true
+      | Some (oans, obytes) -> (
+        match compare with
+        | `Bytes -> String.equal obytes rendered
+        | `Eps -> Urm.Answer.equal ~eps:Urm.Prob.eps oans answer)
+    in
+    if not matches then mismatch := true;
+    let alg_name = Urm.Algorithms.name alg in
+    let engine_name = Urm_relalg.Compile.engine_name engine in
+    Format.printf "  %-14s h=%-4d %-11s (%s)  %8.3fs%s@." alg_name h
+      engine_name
+      (match report.Urm.Report.engine with "" -> "?" | e -> e)
+      secs
+      (if matches then "" else "  ANSWER MISMATCH");
+    Urm_util.Json.Obj
+      [
+        ("id", Urm_util.Json.Str "share");
+        ("algorithm", Urm_util.Json.Str alg_name);
+        ("query", Urm_util.Json.Str "Q4");
+        ("h", Urm_util.Json.Num (float_of_int h));
+        ("engine", Urm_util.Json.Str engine_name);
+        ("effective_engine", Urm_util.Json.Str report.Urm.Report.engine);
+        ("seconds", Urm_util.Json.Num secs);
+        ( "comparison",
+          Urm_util.Json.Str
+            (match compare with `Bytes -> "bytes" | `Eps -> "eps") );
+        ("matches_oracle", Urm_util.Json.Bool matches);
+      ]
+  in
+  let mappings = Hashtbl.create 4 in
+  let mappings_for h =
+    match Hashtbl.find_opt mappings h with
+    | Some ms -> ms
+    | None ->
+      let ms = Urm_workload.Pipeline.mappings p target ~h in
+      Hashtbl.add mappings h ms;
+      ms
+  in
+  let rows =
+    List.concat_map
+      (fun h ->
+        let ms = mappings_for h in
+        (* The oracle at this h: interpreted e-basic, the first row.  An
+           interpreted basic reference is h× more expensive for the same
+           probabilities, so the sharing algorithms' interpreted runs
+           stand in. *)
+        let oracle = ref None in
+        let interp =
+          List.map
+            (fun alg ->
+              row alg Urm_relalg.Compile.Interpreted h ms ~compare:`Bytes
+                ~oracle)
+            sharing
+        in
+        let vect_basic =
+          row Urm.Algorithms.Basic Urm_relalg.Compile.Vectorized h ms
+            ~compare:`Eps ~oracle
+        in
+        let vect =
+          vect_basic
+          :: List.map
+               (fun alg ->
+                 row alg Urm_relalg.Compile.Vectorized h ms ~compare:`Bytes
+                   ~oracle)
+               sharing
+        in
+        interp @ vect)
+      h_sweep
+  in
+  (* The perf gate, re-measured min-of-3 with a fresh context per run. *)
+  let gate =
+    if quick then []
+    else begin
+      let ms = mappings_for 300 in
+      let best alg engine =
+        let t = ref infinity in
+        for _ = 1 to 3 do
+          let ctx = Urm_workload.Pipeline.ctx ~engine p target in
+          let secs =
+            Urm_util.Timer.repeat ~warmup:0 ~runs:1 (fun () ->
+                ignore (E.run_alg cfg alg ctx q ms))
+          in
+          if secs < !t then t := secs
+        done;
+        !t
+      in
+      let fact = best Urm.Algorithms.Emqo Urm_relalg.Compile.Vectorized in
+      let interp = best Urm.Algorithms.Emqo Urm_relalg.Compile.Interpreted in
+      let basic = best Urm.Algorithms.Basic Urm_relalg.Compile.Vectorized in
+      let speedup = interp /. fact in
+      let pass = fact < basic && speedup >= 5. in
+      Format.printf
+        "@.perf gate (h=300, min of 3): factorized e-MQO %.3fs, vectorized \
+         basic %.3fs, interpreted e-MQO %.3fs (%.1fx) — %s@."
+        fact basic interp speedup
+        (if pass then "PASS" else "FAIL");
+      [
+        ( "gate",
+          Urm_util.Json.Obj
+            [
+              ("h", Urm_util.Json.Num 300.);
+              ("runs", Urm_util.Json.Num 3.);
+              ("factorized_emqo_seconds", Urm_util.Json.Num fact);
+              ("interpreted_emqo_seconds", Urm_util.Json.Num interp);
+              ("vectorized_basic_seconds", Urm_util.Json.Num basic);
+              ("speedup_vs_interpreted", Urm_util.Json.Num speedup);
+              ("pass", Urm_util.Json.Bool pass);
+            ] );
+      ]
+    end
+  in
+  let json =
+    Urm_util.Json.Obj
+      ([
+         ( "config",
+           Urm_util.Json.Obj
+             [
+               ("seed", Urm_util.Json.Num (float_of_int cfg.E.seed));
+               ("scale", Urm_util.Json.Num cfg.E.scale);
+               ("runs", Urm_util.Json.Num (float_of_int cfg.E.runs));
+             ] );
+         ("rows", Urm_util.Json.Arr rows);
+       ]
+      @ gate)
+  in
+  let oc = open_out share_file in
+  output_string oc (Urm_util.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote sharing sweep to %s@.@." share_file;
+  if !mismatch then begin
+    Format.eprintf
+      "sharing sweep: answers diverged from the interpreted oracle@.";
+    exit 1
+  end;
+  match gate with
+  | [ (_, Urm_util.Json.Obj fields) ]
+    when List.assoc "pass" fields = Urm_util.Json.Bool false ->
+    Format.eprintf
+      "perf gate FAILED: factorized e-MQO must beat vectorized basic and \
+       interpreted e-MQO by >= 5x@.";
+    exit 1
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 1d: the anytime sweep (id "anytime").
 
    The headline claim of lib/anytime: mapping sets far beyond exact reach
@@ -871,6 +1070,7 @@ let () =
   if not skip_tables then run_tables only quick;
   if not skip_tables && wanted only "par" then run_par quick;
   if not skip_tables && wanted only "eval" then run_eval quick engine;
+  if not skip_tables && wanted only "share" then run_share quick;
   if not skip_tables && wanted only "anytime" then run_anytime quick;
   if not skip_tables && wanted only "incr" then run_incr quick;
   if not skip_tables && wanted only "shard" then run_shard quick;

@@ -222,6 +222,23 @@ let query_cmd =
           | false, _ -> run_with_jobs ~jobs alg ctx q ms
         in
         Format.printf "%s: %a@." (Urm.Algorithms.name alg) Urm.Report.pp report;
+        (* The report records the engine that actually ran (an algorithm may
+           route to the interpreted oracle or a "+factorized" variant); warn
+           when it differs from the engine the user asked for. *)
+        (match report.Urm.Report.engine with
+        | "" -> ()
+        | effective ->
+          let base =
+            match String.index_opt effective '+' with
+            | Some i -> String.sub effective 0 i
+            | None -> effective
+          in
+          Format.printf "engine: %s@." effective;
+          let requested = Urm_relalg.Compile.engine_name engine in
+          if base <> requested then
+            Format.eprintf
+              "warning: requested engine '%s' but %s executed with '%s'@."
+              requested (Urm.Algorithms.name alg) effective);
         Format.printf "answers (top %d of %d):@." answers
           (Urm.Answer.size report.Urm.Report.answer);
         List.iter

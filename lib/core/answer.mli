@@ -21,11 +21,38 @@ val add : t -> Urm_relalg.Value.t array -> float -> unit
 (** [add_null t p] accumulates probability onto θ. *)
 val add_null : t -> float -> unit
 
-(** [add_ref t tuple p] like {!add}, but returns the tuple's accumulator
-    cell so further probability can be replayed with [r := !r +. p'] —
-    the vectorized engine's per-reformulation answer memo.  Cells stay
-    valid for the answer's lifetime. *)
-val add_ref : t -> Urm_relalg.Value.t array -> float -> float ref
+(** [vec_mass w] the collapsed probability mass of a mapping weight
+    vector, summed left to right — the same accumulation order as the
+    per-mapping incremental sum, so collapsing is bit-identical to adding
+    each mapping's probability in ascending mapping order. *)
+val vec_mass : float array -> float
+
+(** [add_vec t tuple w] the bulk weighted-accumulate entry point of the
+    factorized executor: folds the whole weight vector [w] into [tuple]'s
+    bucket with a single addition of {!vec_mass}[ w] — one call replaces
+    the h per-mapping {!add}s of a non-factorized evaluation. *)
+val add_vec : t -> Urm_relalg.Value.t array -> float array -> unit
+
+(** [add_id t tuple p] like {!add}, but returns the tuple's bucket id so
+    further probability can be replayed with {!bump} — the engines'
+    per-reformulation answer memo.  Ids are dense insertion indices, stay
+    valid for the answer's lifetime, and are never reassigned (not even by
+    {!compact}). *)
+val add_id : t -> Urm_relalg.Value.t array -> float -> int
+
+(** [bump t id p] accumulates [p] onto the bucket behind [id] (from
+    {!add_id}) — an unboxed array update, the replay fast path. *)
+val bump : t -> int -> float -> unit
+
+(** [reserve t n] pre-sizes the bucket table for [n] further insertions, so
+    a bulk insert pass of known size pays one redistribution instead of
+    log₂ n doublings. *)
+val reserve : t -> int -> unit
+
+(** [tuple_equal a b] bucket-identity equality of answer tuples — the
+    exact equivalence [add] uses to coalesce buckets (so nan = nan and
+    -0. = 0., as under polymorphic comparison). *)
+val tuple_equal : Urm_relalg.Value.t array -> Urm_relalg.Value.t array -> bool
 
 (** [merge_into t other] sums [other]'s tuple probabilities and θ mass into
     [t].  Merging partial answers built over disjoint contiguous mapping

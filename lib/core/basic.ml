@@ -106,6 +106,7 @@ let run_scoped ~metrics (ctx : Ctx.t) q ms =
     source_operators = ctrs.Eval.operators;
     rows_produced = ctrs.Eval.rows_produced;
     groups = List.length ms;
+    engine = Urm_relalg.Compile.engine_name (Ctx.engine ctx);
   }
 
 let run ?(metrics = Urm_obs.Metrics.global) ctx q ms =

@@ -118,4 +118,5 @@ let run (ctx : Ctx.t) c ms =
     source_operators = ctrs.Eval.operators;
     rows_produced = ctrs.Eval.rows_produced;
     groups = List.length groups;
+    engine = Urm_relalg.Compile.engine_name (Ctx.engine ctx);
   }

@@ -30,10 +30,15 @@ let with_catalog t catalog = { t with catalog }
 let plan_of t e =
   let compile () = Urm_relalg.Compile.compile t.compile_env e in
   (* Mat fingerprints name ephemeral relation ids — one-shot expressions
-     (o-sharing e-units, e-MQO rewrites) compile directly, uncached. *)
+     (o-sharing e-units, e-MQO rewrites) compile directly, uncached.
+     Cacheable expressions key on the canonical fingerprint: conjunct
+     arrangement does not change the result rows, so structurally identical
+     e-units arriving from different mappings with permuted predicates hit
+     the same compiled plan. *)
   if Urm_relalg.Algebra.contains_mat e then compile ()
   else
-    Urm_relalg.Plan_cache.find_or_add t.plans (Urm_relalg.Algebra.fingerprint e)
+    Urm_relalg.Plan_cache.find_or_add t.plans
+      (Urm_relalg.Algebra.canonical_fingerprint e)
       compile
 
 let eval ?ctrs t e =
@@ -78,6 +83,21 @@ let eval_batches ?ctrs t e =
           Urm_relalg.Column.iter_chunks n ~f:(fun sel len ->
               f { Urm_relalg.Column.vecs; sel; n = len })
         end )
+
+(* [eval_wbatches ?ctrs t e ~weights] the weight-vector channel: like
+   [eval_batches] but every batch is wrapped in {!Column.weighted} carrying
+   the producing e-unit's mapping-mass vector, so the factorized executor
+   runs the plan once for all the mappings the vector describes.  The
+   interpreted fallback wraps the eager batch replay. *)
+let eval_wbatches ?ctrs t e ~weights =
+  match t.engine with
+  | Urm_relalg.Compile.Compiled | Urm_relalg.Compile.Vectorized ->
+    let plan = plan_of t e in
+    ( Urm_relalg.Plan.header plan,
+      fun f -> Urm_relalg.Plan.iter_wbatches ?ctrs t.catalog plan ~weights ~f )
+  | Urm_relalg.Compile.Interpreted ->
+    let header, bdrive = eval_batches ?ctrs t e in
+    (header, fun f -> bdrive (fun batch -> f { Urm_relalg.Column.batch; weights }))
 
 (* Emptiness without materialising: products short-circuit structurally
    (same shapes as the interpreter's [nonempty]); everything else asks the

@@ -67,6 +67,18 @@ val eval_batches :
   Urm_relalg.Algebra.t ->
   string list * ((Urm_relalg.Column.batch -> unit) -> unit)
 
+(** [eval_wbatches ?ctrs t e ~weights] like {!eval_batches} but every
+    batch is wrapped in {!Urm_relalg.Column.weighted} carrying [weights] —
+    the Pr(mᵢ) mass vector of the mappings whose reformulation contains
+    [e].  The factorized multi-mapping executor's entry point: one plan
+    execution serves every mapping in the vector. *)
+val eval_wbatches :
+  ?ctrs:Urm_relalg.Eval.counters ->
+  t ->
+  Urm_relalg.Algebra.t ->
+  weights:float array ->
+  string list * ((Urm_relalg.Column.weighted -> unit) -> unit)
+
 (** Emptiness test; products short-circuit without materialising either
     side on both engines. *)
 val nonempty : ?ctrs:Urm_relalg.Eval.counters -> t -> Urm_relalg.Algebra.t -> bool

@@ -41,9 +41,9 @@ let eval_unit ?evaluate_sw ?aggregate_sw ~ctrs (ctx : Ctx.t) acc (sq, p) =
 let accumulate_units ~ctrs ctx acc units =
   List.iter (eval_unit ~ctrs ctx acc) units
 
-let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
-  let m = Urm_obs.Metrics.scope metrics "e-basic" in
-  let ctrs = Eval.fresh_counters ~metrics:m () in
+(* The interpreted per-unit loop — the factorized executor's differential
+   oracle. *)
+let run_interpreted ~m ~ctrs (ctx : Ctx.t) q ms =
   let distinct, rewrite =
     Urm_util.Timer.time (fun () -> distinct_source_queries ctx q ms)
   in
@@ -67,7 +67,47 @@ let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
       source_operators = ctrs.Eval.operators;
       rows_produced = ctrs.Eval.rows_produced;
       groups = List.length distinct;
+      engine = "interpreted";
     }
   in
   Report.record_metrics m report;
   report
+
+(* The plan engines go through the factorized executor: each distinct
+   source query runs once, streaming its batches into the answer with the
+   unit's whole mapping-mass vector (no cross-unit CSE — that is e-MQO's
+   job).  Bit-identical to [run_interpreted]: same unit order, and the
+   collapsed vector mass equals the incremental per-mapping sum. *)
+let run_factorized ~m ~ctrs (ctx : Ctx.t) q ms =
+  let units, rewrite =
+    Urm_util.Timer.time (fun () -> Factorized.weighted_units ctx q ms)
+  in
+  let r = Factorized.eval ~ctrs ctx q units in
+  let report =
+    {
+      Report.answer = r.Factorized.answer;
+      intervals = None;
+      timings =
+        {
+          Report.rewrite;
+          plan = r.Factorized.plan_time;
+          evaluate = r.Factorized.evaluate_time;
+          aggregate = 0.;
+        };
+      source_operators = ctrs.Eval.operators;
+      rows_produced = ctrs.Eval.rows_produced;
+      groups = r.Factorized.units;
+      engine =
+        Urm_relalg.Compile.engine_name (Ctx.engine ctx) ^ "+factorized";
+    }
+  in
+  Report.record_metrics m report;
+  report
+
+let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
+  let m = Urm_obs.Metrics.scope metrics "e-basic" in
+  let ctrs = Eval.fresh_counters ~metrics:m () in
+  match Ctx.engine ctx with
+  | Urm_relalg.Compile.Interpreted -> run_interpreted ~m ~ctrs ctx q ms
+  | Urm_relalg.Compile.Compiled | Urm_relalg.Compile.Vectorized ->
+    run_factorized ~m ~ctrs ctx q ms

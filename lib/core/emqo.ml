@@ -49,9 +49,10 @@ let eval_units ~ctrs (ctx : Ctx.t) q units =
     units;
   (parts, plan_time, evaluate)
 
-let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
-  let m = Urm_obs.Metrics.scope metrics "e-MQO" in
-  let ctrs = Eval.fresh_counters ~metrics:m () in
+(* The interpreted Roy et al. planner path — deliberately expensive plan
+   search (see {!Urm_mqo.Planner}) and the factorized executor's
+   differential oracle. *)
+let run_interpreted ~m ~ctrs (ctx : Ctx.t) q ms =
   let distinct, rewrite =
     Urm_util.Timer.time (fun () -> Ebasic.distinct_source_queries ctx q ms)
   in
@@ -68,7 +69,47 @@ let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
       source_operators = ctrs.Eval.operators;
       rows_produced = ctrs.Eval.rows_produced;
       groups = Array.length parts;
+      engine = "interpreted";
     }
   in
   Report.record_metrics m report;
   report
+
+(* The plan engines go through the factorized executor with cross-unit
+   common-subexpression elimination ({!Urm_mqo.Dag}): the global e-unit
+   DAG is built once with a cheap counting pass, each share materialises
+   once, and every distinct unit streams its batches into the answer with
+   its whole mapping-mass vector. *)
+let run_factorized ~m ~ctrs (ctx : Ctx.t) q ms =
+  let units, rewrite =
+    Urm_util.Timer.time (fun () -> Factorized.weighted_units ctx q ms)
+  in
+  let r = Factorized.eval ~ctrs ~cse:true ctx q units in
+  let report =
+    {
+      Report.answer = r.Factorized.answer;
+      intervals = None;
+      timings =
+        {
+          Report.rewrite;
+          plan = r.Factorized.plan_time;
+          evaluate = r.Factorized.evaluate_time;
+          aggregate = 0.;
+        };
+      source_operators = ctrs.Eval.operators;
+      rows_produced = ctrs.Eval.rows_produced;
+      groups = r.Factorized.units;
+      engine =
+        Urm_relalg.Compile.engine_name (Ctx.engine ctx) ^ "+factorized";
+    }
+  in
+  Report.record_metrics m report;
+  report
+
+let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
+  let m = Urm_obs.Metrics.scope metrics "e-MQO" in
+  let ctrs = Eval.fresh_counters ~metrics:m () in
+  match Ctx.engine ctx with
+  | Urm_relalg.Compile.Interpreted -> run_interpreted ~m ~ctrs ctx q ms
+  | Urm_relalg.Compile.Compiled | Urm_relalg.Compile.Vectorized ->
+    run_factorized ~m ~ctrs ctx q ms

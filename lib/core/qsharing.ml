@@ -1,22 +1,52 @@
+open Urm_relalg
+
 let representatives (ctx : Ctx.t) q ms =
   Ptree.represent (Ptree.partition ctx.target q ms)
 
+(* The interpreted oracle runs {!Basic} over the representatives; the plan
+   engines run the factorized executor over one singleton-weight unit per
+   representative — same per-representative accumulation order (duplicate
+   reformulation keys replay), one plan execution per distinct e-unit. *)
 let run ?(metrics = Urm_obs.Metrics.global) (ctx : Ctx.t) q ms =
   let m = Urm_obs.Metrics.scope metrics "q-sharing" in
   let reps, partition_time =
     Urm_util.Timer.time (fun () -> representatives ctx q ms)
   in
-  let report = Basic.run_scoped ~metrics:m ctx q reps in
   let report =
-    {
-      report with
-      Report.timings =
-        {
-          report.Report.timings with
-          Report.rewrite = report.Report.timings.Report.rewrite +. partition_time;
-        };
-      groups = List.length reps;
-    }
+    match Ctx.engine ctx with
+    | Urm_relalg.Compile.Interpreted ->
+      let report = Basic.run_scoped ~metrics:m ctx q reps in
+      {
+        report with
+        Report.timings =
+          {
+            report.Report.timings with
+            Report.rewrite = report.Report.timings.Report.rewrite +. partition_time;
+          };
+        groups = List.length reps;
+      }
+    | Urm_relalg.Compile.Compiled | Urm_relalg.Compile.Vectorized ->
+      let ctrs = Eval.fresh_counters ~metrics:m () in
+      let units, rewrite =
+        Urm_util.Timer.time (fun () -> Factorized.singleton_units ctx q reps)
+      in
+      let r = Factorized.eval ~ctrs ctx q units in
+      {
+        Report.answer = r.Factorized.answer;
+        intervals = None;
+        timings =
+          {
+            Report.rewrite = partition_time +. rewrite;
+            plan = r.Factorized.plan_time;
+            evaluate = r.Factorized.evaluate_time;
+            aggregate = 0.;
+          };
+        source_operators = ctrs.Eval.operators;
+        rows_produced = ctrs.Eval.rows_produced;
+        groups = List.length reps;
+        engine =
+          Urm_relalg.Compile.engine_name (Ctx.engine ctx) ^ "+factorized";
+      }
   in
   Report.record_metrics m report;
   report

@@ -388,34 +388,159 @@ let stream_batch_answers_into acc sq ~factor stream p =
     ~emit:(fun tuple -> Answer.add acc tuple p)
     ~emit_null:(fun () -> Answer.add_null acc p)
 
-(* A recorded accumulation: the answer-bucket cells one evaluation of a
+(* A recorded accumulation: the answer-bucket ids one evaluation of a
    reformulation touched, in emission order.  Mappings sharing a {!key}
-   produce identical target tuples, so a later mapping replays the cells
+   produce identical target tuples, so a later mapping replays the ids
    with its own probability instead of re-evaluating — same buckets, same
    per-bucket addition order, hence bit-identical to a fresh evaluation. *)
-type replay = { cells : float ref array; null : bool }
+type replay = { ids : int array; null : bool }
+
+(* A replay plus the emitted target-tuple stream itself, in emission
+   order — the factorized executor's cross-unit result-stream memo (see
+   [record_weighted_answers_into]). *)
+type recording = { rep : replay; tuples : Value.t array array }
+
+let replay_of r = r.rep
+
+(* Growable array buffer: record paths push one entry per emitted tuple,
+   so consing a list and reversing would double the allocation on the
+   hottest loop in the system. *)
+let push buf count x =
+  let n = Array.length !buf in
+  if !count = n then begin
+    let bigger = Array.make (2 * n) !buf.(0) in
+    Array.blit !buf 0 bigger 0 n;
+    buf := bigger
+  end;
+  !buf.(!count) <- x;
+  incr count
 
 let record_batch_answers_into acc sq ~factor stream p =
-  let cells = ref [] and count = ref 0 and null = ref false in
+  let ids = ref (Array.make 256 0) and count = ref 0 and null = ref false in
   fold_batches_into sq ~factor stream
-    ~emit:(fun tuple ->
-      cells := Answer.add_ref acc tuple p :: !cells;
-      incr count)
+    ~emit:(fun tuple -> push ids count (Answer.add_id acc tuple p))
     ~emit_null:(fun () ->
       null := true;
       Answer.add_null acc p);
-  let arr = Array.make !count (ref 0.) in
-  let i = ref !count in
-  List.iter
-    (fun c ->
-      decr i;
-      arr.(!i) <- c)
-    !cells;
-  { cells = arr; null = !null }
+  { ids = Array.sub !ids 0 !count; null = !null }
 
 let replay_answers_into acc r p =
-  Array.iter (fun c -> c := !c +. p) r.cells;
+  let ids = r.ids in
+  for i = 0 to Array.length ids - 1 do
+    Answer.bump acc ids.(i) p
+  done;
   if r.null then Answer.add_null acc p
+
+(* The factorized executor's recording: one pass over the weight-vector
+   channel ({!Urm.Ctx.eval_wbatches}) that accumulates the e-unit's whole
+   collapsed mapping mass and records the emitted stream — while
+   simultaneously comparing that stream, tuple by tuple, against the
+   [candidates] recorded by previously executed units.  Distinct
+   reformulations frequently produce identical result streams (they differ
+   in source attributes the target projection discards); when a candidate's
+   stream is reproduced exactly — same tuples, same order, same length,
+   same θ emission — the unit replays the candidate's bucket ids instead of
+   paying a hash probe per tuple, and shares the candidate's recording.
+
+   Bit-identity: bucket additions are deferred until the drive completes,
+   which preserves their relative (emission) order, and a full stream match
+   means the replayed additions are exactly the additions a fresh
+   accumulation would have made — same buckets, same order, no hashing
+   involved in the match (structural tuple equality only). *)
+let record_weighted_answers_into acc sq ~factor (header, wdrive) ~weights
+    ~candidates =
+  let bdrive f = wdrive (fun wb -> f wb.Column.batch) in
+  (* Collapse the weight vector once per unit, not per emitted tuple: the
+     left-to-right fold is the same float the oracle's incremental
+     per-mapping sum reaches, and hoisting it turns the accumulation from
+     O(h · tuples) flops into O(h + tuples). *)
+  let mass = Answer.vec_mass weights in
+  let cands = Array.of_list candidates in
+  let nc = Array.length cands in
+  let live = Array.make nc true in
+  let nlive = ref nc in
+  (* While any candidate is live the emitted tuples are compared and
+     dropped, not buffered — a full match never needs them, and the common
+     prefix can always be recovered from a candidate's own recording.  Only
+     once every candidate has died (or none existed) do tuples go to [buf]:
+     on the transition, the shared prefix is backfilled from the last
+     candidate standing, whose stream is identical on the rows seen so
+     far. *)
+  let k = ref 0 in
+  let buffering = ref (nc = 0) in
+  let buf = ref (Array.make 256 [||]) and count = ref 0 and null = ref false in
+  let ensure n =
+    if n > Array.length !buf then begin
+      let cap = ref (Array.length !buf) in
+      while !cap < n do
+        cap := 2 * !cap
+      done;
+      let bigger = Array.make !cap [||] in
+      Array.blit !buf 0 bigger 0 !count;
+      buf := bigger
+    end
+  in
+  fold_batches_into sq ~factor (header, bdrive)
+    ~emit:(fun tuple ->
+      if !buffering then push buf count tuple
+      else begin
+        let died_now = ref (-1) in
+        for c = 0 to nc - 1 do
+          if
+            live.(c)
+            && (!k >= Array.length cands.(c).tuples
+               || not (Answer.tuple_equal tuple cands.(c).tuples.(!k)))
+          then begin
+            live.(c) <- false;
+            decr nlive;
+            died_now := c
+          end
+        done;
+        if !nlive = 0 then begin
+          buffering := true;
+          ensure (!k + 1);
+          Array.blit cands.(!died_now).tuples 0 !buf 0 !k;
+          count := !k;
+          push buf count tuple
+        end
+      end;
+      incr k)
+    ~emit_null:(fun () -> null := true);
+  (* θ only ever fires on an empty stream, so adding it after the loop is
+     the same accumulation order as adding it at emission time. *)
+  let matched = ref None in
+  for c = nc - 1 downto 0 do
+    if
+      live.(c)
+      && Array.length cands.(c).tuples = !k
+      && cands.(c).rep.null = !null
+    then matched := Some cands.(c)
+  done;
+  match !matched with
+  | Some r ->
+    let ids = r.rep.ids in
+    for i = 0 to Array.length ids - 1 do
+      Answer.bump acc ids.(i) mass
+    done;
+    if !null then Answer.add_null acc mass;
+    (r, true)
+  | None ->
+    let tuples =
+      if !buffering then Array.sub !buf 0 !count
+      else begin
+        (* Candidates outlived the stream (it is a strict prefix of
+           theirs): recover the emitted rows from any survivor. *)
+        let src = ref [||] in
+        for c = nc - 1 downto 0 do
+          if live.(c) then src := cands.(c).tuples
+        done;
+        Array.sub !src 0 !k
+      end
+    in
+    Answer.reserve acc (Array.length tuples);
+    let ids = Array.map (fun tu -> Answer.add_id acc tu mass) tuples in
+    if !null then Answer.add_null acc mass;
+    ({ rep = { ids; null = !null }; tuples }, false)
 
 let result_tuples sq ~factor rel =
   match (rel, sq.aggregate) with

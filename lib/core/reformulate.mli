@@ -102,6 +102,32 @@ val record_batch_answers_into :
   float ->
   replay
 
+(** A {!replay} plus the emitted target-tuple stream, in emission order —
+    the factorized executor's cross-unit result-stream memo. *)
+type recording
+
+(** The {!replay} of a recording, for {!replay_answers_into}. *)
+val replay_of : recording -> replay
+
+(** [record_weighted_answers_into acc sq ~factor wstream ~weights
+    ~candidates] the factorized executor's accumulate: streams [sq]'s
+    result over the weight-vector channel ({!Urm.Ctx.eval_wbatches}) and
+    folds the e-unit's whole collapsed mapping mass into each tuple's
+    bucket — one plan execution for all the mappings in [weights].  The
+    emitted stream is simultaneously compared against [candidates]
+    (recordings of previously executed units, in execution order); on an
+    exact stream match the candidate's bucket ids are replayed instead of
+    re-probing the answer table, and the candidate's recording is shared.
+    Returns the recording and whether it was served by a stream match. *)
+val record_weighted_answers_into :
+  Answer.t ->
+  t ->
+  factor:int ->
+  string list * ((Urm_relalg.Column.weighted -> unit) -> unit) ->
+  weights:float array ->
+  candidates:recording list ->
+  recording * bool
+
 (** [replay_answers_into acc r p] re-applies a recording with probability
     [p]: the same buckets receive the same additions, in the same order, as
     a fresh evaluation would produce — bit-identical, without evaluating.

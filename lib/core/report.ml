@@ -14,6 +14,7 @@ type t = {
   source_operators : int;
   rows_produced : int;
   groups : int;
+  engine : string;
   intervals : (Urm_relalg.Value.t array * (float * float)) list option;
 }
 
@@ -28,7 +29,8 @@ let compare_tuples a b =
   in
   go 0
 
-let make ?intervals ~answer ~timings ~source_operators ~rows_produced ~groups () =
+let make ?intervals ?(engine = "") ~answer ~timings ~source_operators
+    ~rows_produced ~groups () =
   let intervals =
     Option.map
       (List.sort (fun (ta, (la, _)) (tb, (lb, _)) ->
@@ -36,7 +38,7 @@ let make ?intervals ~answer ~timings ~source_operators ~rows_produced ~groups ()
            if c <> 0 then c else compare_tuples ta tb))
       intervals
   in
-  { answer; timings; source_operators; rows_produced; groups; intervals }
+  { answer; timings; source_operators; rows_produced; groups; engine; intervals }
 
 (* One record per completed run: the phase breakdown as timers plus run and
    group counts, under the algorithm's metrics scope. *)
@@ -135,12 +137,18 @@ let to_json ?(volatile = true) r =
               ] );
           ("source_operators", Num (float_of_int r.source_operators));
           ("rows_produced", Num (float_of_int r.rows_produced));
-        ])
+        ]
+      (* The engine the run actually executed on (which may differ from
+         the one the context requested — e.g. an algorithm falling back to
+         its interpreted oracle path).  Volatile: the stable rendering must
+         stay byte-identical across engines computing the same answer. *)
+      @ match r.engine with "" -> [] | e -> [ ("engine", Str e) ])
 
 let pp ppf r =
   Format.fprintf ppf
-    "@[<v>%d tuples (θ=%.3f) | rewrite %.4fs plan %.4fs eval %.4fs agg %.4fs | %d ops, %d rows, %d groups@]"
+    "@[<v>%d tuples (θ=%.3f) | rewrite %.4fs plan %.4fs eval %.4fs agg %.4fs | %d ops, %d rows, %d groups%s@]"
     (Answer.size r.answer)
     (Answer.null_prob r.answer)
     r.timings.rewrite r.timings.plan r.timings.evaluate r.timings.aggregate
     r.source_operators r.rows_produced r.groups
+    (match r.engine with "" -> "" | e -> " | engine " ^ e)

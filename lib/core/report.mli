@@ -21,6 +21,12 @@ type t = {
   groups : int;
       (** distinct source queries / representative mappings / e-units,
           depending on the algorithm *)
+  engine : string;
+      (** the execution engine the run {e actually} used (an
+          {!Urm_relalg.Compile.engine_name}, possibly suffixed
+          ["+factorized"]), which may differ from the engine the context
+          requested when an algorithm falls back to its interpreted oracle
+          path; [""] when unrecorded.  [urm query] warns on mismatch. *)
   intervals : (Urm_relalg.Value.t array * (float * float)) list option;
       (** per-tuple [lo, hi] probability bounds, when the producing
           algorithm is approximate (the anytime estimator); [None] for the
@@ -33,6 +39,7 @@ type t = {
     order. *)
 val make :
   ?intervals:(Urm_relalg.Value.t array * (float * float)) list ->
+  ?engine:string ->
   answer:Answer.t ->
   timings:timings ->
   source_operators:int ->

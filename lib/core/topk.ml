@@ -108,6 +108,7 @@ let run ?(strategy = Eunit.Sef) ?seed ?use_memo
       source_operators = ctrs.Eval.operators;
       rows_produced = ctrs.Eval.rows_produced;
       groups = List.length reps;
+      engine = Urm_relalg.Compile.engine_name (Ctx.engine ctx);
     }
   in
   Report.record_metrics m report;

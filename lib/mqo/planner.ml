@@ -121,6 +121,15 @@ let total_cost est mat_exprs queries counter =
   qcost +. mcost
 
 (* ------------------------------------------------------------------ *)
+(* The cost model, exposed for the factorized executor's cheap DAG pass
+   ({!Dag}), which needs relative costs without the greedy search. *)
+
+let est_card ?stats cat e = est_card_with stats cat e
+
+let eval_cost ?stats cat e =
+  cost_of (est_card_with stats cat) (Hashtbl.create 1) (ref 0) e
+
+(* ------------------------------------------------------------------ *)
 
 let plan ?stats cat queries =
   let est = est_card_with stats cat in

@@ -61,3 +61,19 @@ val execute_iter :
 (** [estimated_total_cost p] the cost model's value for the final plan
     (exposed for tests and ablation). *)
 val estimated_total_cost : plan -> float
+
+(** [est_card ?stats cat e] the cost model's cardinality estimate for [e] —
+    exposed for {!Dag}'s cheap benefit heuristic. *)
+val est_card :
+  ?stats:Urm_relalg.Stats_est.t ->
+  Urm_relalg.Catalog.t ->
+  Urm_relalg.Algebra.t ->
+  float
+
+(** [eval_cost ?stats cat e] the cost model's estimate of evaluating [e]
+    standalone (no materialised shares). *)
+val eval_cost :
+  ?stats:Urm_relalg.Stats_est.t ->
+  Urm_relalg.Catalog.t ->
+  Urm_relalg.Algebra.t ->
+  float

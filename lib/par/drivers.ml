@@ -20,7 +20,8 @@ let merge_parts header parts =
     parts;
   (acc, !ops, !rows)
 
-let finish m ~answer ~rewrite ~plan ~evaluate ~aggregate ~ops ~rows ~groups =
+let finish m ~engine ~answer ~rewrite ~plan ~evaluate ~aggregate ~ops ~rows
+    ~groups =
   let report =
     {
       Report.answer;
@@ -29,6 +30,7 @@ let finish m ~answer ~rewrite ~plan ~evaluate ~aggregate ~ops ~rows ~groups =
       source_operators = ops;
       rows_produced = rows;
       groups;
+      engine;
     }
   in
   Report.record_metrics m report;
@@ -59,7 +61,7 @@ let basic ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
   let answer, ops, rows, evaluate, aggregate, groups =
     fan_mappings m ~pool ctx q ms
   in
-  finish m ~answer ~rewrite:0. ~plan:0. ~evaluate ~aggregate ~ops ~rows ~groups
+  finish m ~engine:(Urm_relalg.Compile.engine_name (Ctx.engine ctx)) ~answer ~rewrite:0. ~plan:0. ~evaluate ~aggregate ~ops ~rows ~groups
 
 let qsharing ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
   let m = Urm_obs.Metrics.scope metrics "q-sharing" in
@@ -69,7 +71,7 @@ let qsharing ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
   let answer, ops, rows, evaluate, aggregate, groups =
     fan_mappings m ~pool ctx q reps
   in
-  finish m ~answer ~rewrite ~plan:0. ~evaluate ~aggregate ~ops ~rows ~groups
+  finish m ~engine:(Urm_relalg.Compile.engine_name (Ctx.engine ctx)) ~answer ~rewrite ~plan:0. ~evaluate ~aggregate ~ops ~rows ~groups
 
 let ebasic ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
   let m = Urm_obs.Metrics.scope metrics "e-basic" in
@@ -91,7 +93,7 @@ let ebasic ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
   let (answer, ops, rows), aggregate =
     Urm_util.Timer.time (fun () -> merge_parts header parts)
   in
-  finish m ~answer ~rewrite ~plan:0. ~evaluate ~aggregate ~ops ~rows
+  finish m ~engine:(Urm_relalg.Compile.engine_name (Ctx.engine ctx)) ~answer ~rewrite ~plan:0. ~evaluate ~aggregate ~ops ~rows
     ~groups:(Array.length units)
 
 let emqo ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
@@ -125,7 +127,7 @@ let emqo ?(metrics = Urm_obs.Metrics.global) ~pool ctx q ms =
             rows := !rows + r)
           parts)
   in
-  finish m ~answer ~rewrite ~plan:!plan ~evaluate ~aggregate ~ops:!ops
+  finish m ~engine:(Urm_relalg.Compile.engine_name (Ctx.engine ctx)) ~answer ~rewrite ~plan:!plan ~evaluate ~aggregate ~ops:!ops
     ~rows:!rows ~groups:(List.length units)
 
 let osharing ?(strategy = Eunit.Sef) ?seed ?use_memo
@@ -185,7 +187,7 @@ let osharing ?(strategy = Eunit.Sef) ?seed ?use_memo
           parts)
   in
   let root_ctrs = Eunit.counters root_env in
-  finish m ~answer ~rewrite ~plan:0. ~evaluate:(branch_time +. par_time)
+  finish m ~engine:(Urm_relalg.Compile.engine_name (Ctx.engine ctx)) ~answer ~rewrite ~plan:0. ~evaluate:(branch_time +. par_time)
     ~aggregate
     ~ops:(!ops + root_ctrs.Urm_relalg.Eval.operators)
     ~rows:(!rows + root_ctrs.Urm_relalg.Eval.rows_produced)

@@ -48,6 +48,30 @@ let rec fingerprint = function
   | GroupBy (keys, a, e) ->
     "g:" ^ String.concat "," keys ^ ":" ^ agg_str a ^ "(" ^ fingerprint e ^ ")"
 
+(* Commutative conjunctions are rebuilt in sorted order so that two
+   reformulations differing only in conjunct arrangement key identically.
+   Only predicates are normalised: column lists (Project/GroupBy) and
+   product order determine the result header and row order, so they must
+   stay untouched. *)
+let canonical_pred p =
+  Pred.conj
+    (List.sort
+       (fun a b -> String.compare (Pred.to_string a) (Pred.to_string b))
+       (Pred.conjuncts p))
+
+let rec canonical = function
+  | (Base _ | Mat _) as e -> e
+  | Rename (p, e) -> Rename (p, canonical e)
+  | Select (p, e) -> Select (canonical_pred p, canonical e)
+  | Project (cs, e) -> Project (cs, canonical e)
+  | Distinct e -> Distinct (canonical e)
+  | Product (a, b) -> Product (canonical a, canonical b)
+  | Join (p, a, b) -> Join (canonical_pred p, canonical a, canonical b)
+  | Aggregate (a, e) -> Aggregate (a, canonical e)
+  | GroupBy (keys, a, e) -> GroupBy (keys, a, canonical e)
+
+let canonical_fingerprint e = fingerprint (canonical e)
+
 let equal a b = String.equal (fingerprint a) (fingerprint b)
 let compare a b = String.compare (fingerprint a) (fingerprint b)
 let hash t = Hashtbl.hash (fingerprint t)

@@ -41,6 +41,20 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
+(** [canonical t] rewrites every commutative conjunction ([Pred.And]
+    spines in [Select]/[Join] predicates) into a sorted normal form, so
+    that two expressions differing only in conjunct arrangement become
+    structurally equal.  Column lists and product order are left alone —
+    they determine the result header and row order.  The rewrite preserves
+    the result as a set of rows (filter predicates do not affect row
+    order), which is what makes it sound as a {!Plan_cache} key. *)
+val canonical : t -> t
+
+(** [canonical_fingerprint t] = [fingerprint (canonical t)] — the plan
+    cache's key, under which conjunct-permuted reformulations of the same
+    e-unit share one compiled plan. *)
+val canonical_fingerprint : t -> string
+
 (** Immediate subexpressions, left to right. *)
 val children : t -> t list
 

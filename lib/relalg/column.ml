@@ -22,6 +22,13 @@ type vec =
 
 type batch = { vecs : vec array; sel : int array; n : int }
 
+(* The weight-vector channel of the factorized multi-mapping executor: a
+   batch annotated with the Pr(mᵢ) masses of every mapping whose
+   reformulation contains the e-unit that produced it.  The vector is
+   constant across one plan execution (it describes the producing e-unit,
+   not individual rows) and is shared, not copied, per batch. *)
+type weighted = { batch : batch; weights : float array }
+
 let batch_size = 1024
 
 (* A set byte marks a null row; the mask is absent when no row is null. *)

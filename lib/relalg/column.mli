@@ -25,6 +25,14 @@ type batch = {
   n : int;
 }
 
+(** A batch annotated with an e-unit's mapping-mass weight vector: the
+    Pr(mᵢ) of every mapping whose reformulation contains the e-unit that
+    produced the batch, in ascending mapping order.  The factorized
+    multi-mapping executor streams these so one plan execution carries the
+    probability mass of all its mappings at once; the vector is shared
+    across all batches of one execution. *)
+type weighted = { batch : batch; weights : float array }
+
 val batch_size : int
 
 (** [null_at mask i] — true when the mask marks row [i] null. *)

@@ -588,4 +588,11 @@ let iter_rows ?ctrs cat t ~f = t.root.iter { cat; ctrs } f
    may be reused by producers — consumers must not retain them. *)
 let iter_batches ?ctrs cat t ~f = t.root.biter { cat; ctrs } f
 
+(* The weight-vector channel: the batch stream with every batch carrying
+   the producing e-unit's mapping-mass vector.  The plan runs exactly once
+   regardless of how many mappings the vector describes — that is the
+   factorized executor's one-pass-for-all-h property. *)
+let iter_wbatches ?ctrs cat t ~weights ~f =
+  t.root.biter { cat; ctrs } (fun batch -> f { Column.batch; weights })
+
 let nonempty ?ctrs cat t = t.root.check { cat; ctrs }

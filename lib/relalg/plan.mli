@@ -141,6 +141,19 @@ val iter_rows :
 val iter_batches :
   ?ctrs:Eval.counters -> Catalog.t -> t -> f:(Column.batch -> unit) -> unit
 
+(** [iter_wbatches ?ctrs cat t ~weights ~f] the batch stream of
+    {!iter_batches} with every batch wrapped in {!Column.weighted},
+    carrying the producing e-unit's mapping-mass vector.  One execution
+    serves every mapping in [weights] — the factorized multi-mapping
+    executor's entry point. *)
+val iter_wbatches :
+  ?ctrs:Eval.counters ->
+  Catalog.t ->
+  t ->
+  weights:float array ->
+  f:(Column.weighted -> unit) ->
+  unit
+
 (** Short-circuiting emptiness test (stops at the first row) with
     accounting suppressed: probes leave [ctrs] untouched. *)
 val nonempty : ?ctrs:Eval.counters -> Catalog.t -> t -> bool

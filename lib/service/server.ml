@@ -251,6 +251,81 @@ let exec_query_partial t session q ~alg_name ~lo ~hi : (Json.t, failure) result 
                ("partials", Json.Arr parts);
              ]))
 
+(* Partial evaluation of the sharing algorithms: the shard router fans the
+   distinct e-unit list instead of the mapping range.  Every worker holds
+   every session, so each worker derives the same unit list deterministically
+   and evaluates its contiguous chunk [slot·n/slots, (slot+1)·n/slots).  The
+   reply carries one answer per e-unit (ascending), so the router's
+   ascending-slot merge replays the factorized executor's per-unit bucket
+   additions exactly and recombines bit-identically to a single process at
+   any shard count.  [expect_h] is the router's cached mapping count — a
+   mismatch means a mutate raced the fan-out and surfaces as the typed
+   [stale_range] error, same refresh-and-retry discipline as the basic
+   range fan-out. *)
+let unit_fan_algorithms = [ "e-basic"; "e-mqo"; "q-sharing" ]
+
+let exec_query_units t session q ~alg_name ~slot ~slots ~expect_h :
+    (Json.t, failure) result =
+  if not (List.mem alg_name unit_fan_algorithms) then
+    Error
+      (`Bad
+        "e-unit slot evaluation supports only algorithms \"e-basic\", \
+         \"e-mqo\" and \"q-sharing\"")
+  else if slots <= 0 || slot < 0 || slot >= slots then
+    Error (`Bad "\"slot\"/\"slots\" must satisfy 0 <= slot < slots")
+  else
+    let variant = Printf.sprintf "units:%d:%d:%d" slot slots expect_h in
+    Ok
+      (cached_eval t session q ~algorithm:alg_name ~variant (fun snap ->
+           let ctx = snap.Urm_incr.Vcatalog.ctx
+           and mappings = snap.Urm_incr.Vcatalog.mappings in
+           let h = List.length mappings in
+           if expect_h >= 0 && expect_h <> h then
+             raise
+               (Stale_range
+                  (Printf.sprintf "expected %d mappings, session has %d"
+                     expect_h h));
+           let units =
+             match alg_name with
+             | "q-sharing" ->
+               Urm.Factorized.singleton_units ctx q
+                 (Urm.Qsharing.representatives ctx q mappings)
+             | _ -> Urm.Factorized.weighted_units ctx q mappings
+           in
+           let n = List.length units in
+           let lo = slot * n / slots and hi = (slot + 1) * n / slots in
+           let header = Urm.Reformulate.output_header q in
+           let ua = Array.of_list units in
+           let parts =
+             List.init (hi - lo) (fun j ->
+                 let i = lo + j in
+                 let ctrs = Urm_relalg.Eval.fresh_counters () in
+                 let acc =
+                   (Urm.Factorized.eval ~ctrs ctx q [ ua.(i) ])
+                     .Urm.Factorized.answer
+                 in
+                 Json.Obj
+                   [
+                     ("u", Json.Num (float_of_int i));
+                     ("answers", answers_json acc max_int);
+                     ("null_prob", Json.Num (Urm.Answer.null_prob acc));
+                   ])
+           in
+           Json.Obj
+             [
+               ("query", Json.Str (Urm.Query.to_string q));
+               ("algorithm", Json.Str alg_name);
+               ("units", Json.Num (float_of_int n));
+               ( "slot",
+                 Json.Obj
+                   [
+                     ("index", Json.Num (float_of_int slot));
+                     ("of", Json.Num (float_of_int slots));
+                   ] );
+               ("output", Json.Arr (List.map (fun c -> Json.Str c) header));
+               ("partials", Json.Arr parts);
+             ]))
+
 let exec_query t req : (Json.t, failure) result =
   match session_of t req with
   | Error _ as e -> e
@@ -263,12 +338,23 @@ let exec_query t req : (Json.t, failure) result =
       in
       let limit = answers_limit req in
       match
-        (Protocol.int_param req "range_lo", Protocol.int_param req "range_hi")
+        ( Protocol.int_param req "range_lo",
+          Protocol.int_param req "range_hi",
+          Protocol.int_param req "slot",
+          Protocol.int_param req "slots" )
       with
-      | Some lo, Some hi -> exec_query_partial t session q ~alg_name ~lo ~hi
-      | Some _, None | None, Some _ ->
+      | _, _, Some slot, Some slots ->
+        let expect_h =
+          Option.value ~default:(-1) (Protocol.int_param req "expect_h")
+        in
+        exec_query_units t session q ~alg_name ~slot ~slots ~expect_h
+      | _, _, Some _, None | _, _, None, Some _ ->
+        Error (`Bad "give both \"slot\" and \"slots\", or neither")
+      | Some lo, Some hi, None, None ->
+        exec_query_partial t session q ~alg_name ~lo ~hi
+      | Some _, None, None, None | None, Some _, None, None ->
         Error (`Bad "give both \"range_lo\" and \"range_hi\", or neither")
-      | None, None ->
+      | None, None, None, None ->
       if String.equal alg_name "incr" then
         (* The maintained answer: built on first use, patched forward by
            delta evaluation on every later one.  Always fresh at the

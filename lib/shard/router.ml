@@ -496,38 +496,38 @@ let merge_partials ~output replies =
     replies;
   answer
 
-let fan_basic t (s : sess) (req : Protocol.request) =
+(* The shared fan-out core: [slot_params ~shards ~h] builds, per attempt,
+   the function giving each slot its extra request parameters ([None] for
+   a slot with nothing to do).  The basic algorithm fans contiguous
+   mapping ranges; the sharing algorithms fan e-unit slots (the worker
+   derives the distinct-unit list itself — every worker holds every
+   session — and evaluates its contiguous chunk). *)
+let fan_out t (s : sess) (req : Protocol.request) ~alg ~slot_params =
   let id = req.Protocol.id in
   let shards = Array.length t.slots in
   let base_params = params_of req in
   let attempt h =
-    let ranges = Hash.ranges ~shards ~h in
+    let params_of_slot = slot_params ~shards ~h in
     (* The sentinel must be an [Error]: a fan-out thread that dies from
        an uncaught exception leaves its slot untouched, and an [Ok]
        sentinel would be silently dropped from the merge as if the range
-       were empty.  Only the genuine hi <= lo case writes [Ok Null]. *)
+       were empty.  Only a genuinely empty slot writes [Ok Null]. *)
     let results =
       Array.make shards (Error ("internal", "shard fan-out thread died"))
     in
     let threads =
-      Array.mapi
-        (fun i (lo, hi) ->
+      Array.init shards (fun i ->
           Thread.create
             (fun () ->
               results.(i) <-
-                (if hi <= lo then Ok Json.Null
-                 else
-                   try
-                     call_with_retry t t.slots.(i) ~op:"query"
-                       (base_params
-                       @ [
-                           ("algorithm", Json.Str "basic");
-                           ("range_lo", Json.Num (float_of_int lo));
-                           ("range_hi", Json.Num (float_of_int hi));
-                         ])
-                   with exn -> Error ("internal", Printexc.to_string exn)))
+                (match params_of_slot i with
+                | None -> Ok Json.Null
+                | Some extra -> (
+                  try
+                    call_with_retry t t.slots.(i) ~op:"query"
+                      (base_params @ extra)
+                  with exn -> Error ("internal", Printexc.to_string exn))))
             ())
-        ranges
     in
     Array.iter Thread.join threads;
     results
@@ -576,12 +576,45 @@ let fan_basic t (s : sess) (req : Protocol.request) =
            [
              ( "query",
                Option.value ~default:Json.Null (Json.member "query" first) );
-             ("algorithm", Json.Str "basic");
+             ("algorithm", Json.Str alg);
              ("size", Json.Num (float_of_int (Urm.Answer.size answer)));
              ("null_prob", Json.Num (Urm.Answer.null_prob answer));
              ("answers", Server.answers_json answer limit);
              ("sharded", Json.Num (float_of_int shards));
            ]))
+
+let fan_basic t (s : sess) (req : Protocol.request) =
+  fan_out t s req ~alg:"basic" ~slot_params:(fun ~shards ~h ->
+      let ranges = Hash.ranges ~shards ~h in
+      fun i ->
+        let lo, hi = ranges.(i) in
+        if hi <= lo then None
+        else
+          Some
+            [
+              ("algorithm", Json.Str "basic");
+              ("range_lo", Json.Num (float_of_int lo));
+              ("range_hi", Json.Num (float_of_int hi));
+            ])
+
+(* The sharing-algorithm fan-out: each slot evaluates its chunk of the
+   e-unit list; [expect_h] lets the worker detect a racing mapping-set
+   mutation (typed stale_range, retried once after a refresh).  Merging
+   replies in ascending slot order replays per-unit contributions in
+   ascending unit order — the factorized executor's own accumulation
+   order — so the recombined answer is byte-identical to one process. *)
+let fan_units t (s : sess) ~alg (req : Protocol.request) =
+  fan_out t s req ~alg ~slot_params:(fun ~shards ~h ->
+      fun i ->
+        Some
+          [
+            ("algorithm", Json.Str alg);
+            ("slot", Json.Num (float_of_int i));
+            ("slots", Json.Num (float_of_int shards));
+            ("expect_h", Json.Num (float_of_int h));
+          ])
+
+let unit_fan_algorithms = [ "e-basic"; "e-mqo"; "q-sharing" ]
 
 let exec_query t (req : Protocol.request) =
   let alg =
@@ -595,13 +628,17 @@ let exec_query t (req : Protocol.request) =
     | Some name -> find_sess t name
     | None | (exception Failure _) -> None
   in
+  let unsliced =
+    Protocol.param req "range_lo" = None
+    && Protocol.param req "range_hi" = None
+    && Protocol.param req "slot" = None
+    && Protocol.param req "slots" = None
+  in
   match sess with
-  | Some s
-    when String.equal alg "basic"
-         && s.sh > 0
-         && Protocol.param req "range_lo" = None
-         && Protocol.param req "range_hi" = None ->
+  | Some s when String.equal alg "basic" && s.sh > 0 && unsliced ->
     fan_basic t s req
+  | Some s when List.mem alg unit_fan_algorithms && s.sh > 0 && unsliced ->
+    fan_units t s ~alg req
   | _ -> forward t (route_slot t req) req
 
 (* ------------------------------------------------------------------ *)

@@ -276,9 +276,102 @@ let qcheck_topk_prefix =
            (fun (t, _) -> Urm.Answer.prob_of full t >= kth -. Urm.Prob.eps)
            got)
 
+(* ------------------------------------------------------------------ *)
+(* The factorized-executor dimension: deterministic sweeps that pin the
+   cases the random generators visit only occasionally. *)
+
+(* h ∈ {1, 7, 32}: h = 1 is the degenerate single-unit pass (the weight
+   vector has one entry and no key ever repeats), 32 exceeds the batch
+   of distinct reformulations so units genuinely dedup and replay. *)
+let test_factorized_h_sweep () =
+  let p = Lazy.force workload in
+  let excel = Urm_workload.Targets.excel in
+  let ctxs =
+    both_engines (fun engine -> Urm_workload.Pipeline.ctx ~engine p excel)
+  in
+  List.iter
+    (fun h ->
+      let ms = Urm_workload.Pipeline.mappings p excel ~h in
+      List.iter
+        (fun q ->
+          match disagreement ctxs q ms with
+          | None -> ()
+          | Some msg -> Alcotest.failf "h=%d: %s" h msg)
+        Urm_workload.Queries.[ q1; q4 ])
+    [ 1; 7; 32 ]
+
+(* Mappings sharing one correspondence set reformulate to the same e-unit:
+   the factorized pass must collapse them into one weight vector (and the
+   replay memo must hand repeated keys the recorded cells), still agreeing
+   with the interpreted per-mapping oracle. *)
+let test_factorized_duplicate_mappings () =
+  let mk id prob pairs = Urm.Mapping.make ~id ~prob ~score:prob pairs in
+  let office =
+    [ ("Person.phone", "Customer.ophone"); ("Person.addr", "Customer.oaddr") ]
+  in
+  let home =
+    [ ("Person.phone", "Customer.hphone"); ("Person.addr", "Customer.haddr") ]
+  in
+  let ms =
+    [
+      mk 0 0.3 office; mk 1 0.25 home; mk 2 0.2 office; mk 3 0.15 office;
+      mk 4 0.1 home;
+    ]
+  in
+  let cat = Test_core.catalog () in
+  let ctxs =
+    both_engines (fun engine ->
+        Urm.Ctx.make ~engine ~catalog:cat ~source:Test_core.source
+          ~target:Test_core.target ())
+  in
+  List.iter
+    (fun q ->
+      match disagreement ctxs q ms with
+      | None -> ()
+      | Some msg -> Alcotest.failf "%s: %s" q.Urm.Query.name msg)
+    [
+      Urm.Query.make ~name:"dup-sel" ~target:Test_core.target
+        ~aliases:[ ("Person", "Person") ]
+        ~selections:[ (Urm.Query.at "Person" "addr", s "aaa") ]
+        ();
+      Urm.Query.make ~name:"dup-count" ~target:Test_core.target
+        ~aliases:[ ("Person", "Person") ]
+        ~aggregate:Urm.Query.Count ();
+    ]
+
+(* The plan engines must actually take the factorized executor (and say
+   so in the report), while the interpreted oracle keeps its name. *)
+let test_factorized_engine_recorded () =
+  let p = Lazy.force workload in
+  let excel = Urm_workload.Targets.excel in
+  let ms = Urm_workload.Pipeline.mappings p excel ~h:7 in
+  let q = Urm_workload.Queries.q1 in
+  let check engine alg expect =
+    let ctx = Urm_workload.Pipeline.ctx ~engine p excel in
+    let r = Urm.Algorithms.run alg ctx q ms in
+    Alcotest.(check string)
+      (Printf.sprintf "%s engine string" (Urm.Algorithms.name alg))
+      expect r.Urm.Report.engine
+  in
+  List.iter
+    (fun alg ->
+      check Urm_relalg.Compile.Vectorized alg "vectorized+factorized";
+      check Urm_relalg.Compile.Interpreted alg "interpreted")
+    [
+      Urm.Algorithms.Ebasic; Urm.Algorithms.Emqo; Urm.Algorithms.Qsharing;
+      Urm.Algorithms.Osharing Urm.Eunit.Sef;
+    ];
+  check Urm_relalg.Compile.Vectorized Urm.Algorithms.Basic "vectorized"
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_running_example;
     QCheck_alcotest.to_alcotest qcheck_workload;
     QCheck_alcotest.to_alcotest qcheck_topk_prefix;
+    Alcotest.test_case "factorized h sweep (1, 7, 32) matches the oracle" `Slow
+      test_factorized_h_sweep;
+    Alcotest.test_case "duplicate mappings collapse and replay" `Quick
+      test_factorized_duplicate_mappings;
+    Alcotest.test_case "reports record the effective engine" `Quick
+      test_factorized_engine_recorded;
   ]

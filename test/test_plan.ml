@@ -418,6 +418,41 @@ let test_ctx_reuse () =
   Alcotest.(check (triple int int int)) "one compile, one reuse" (1, 1, 0)
     (hit, miss, evict)
 
+(* Canonicalized cache keys: permuted And-conjuncts are one plan-cache
+   entry (the hit-rate regression), while anything that affects the
+   header or row order — projection column order, product order — must
+   stay a distinct key. *)
+let test_canonical_fingerprint_cache () =
+  let p1 = Pred.Cmp (Pred.Eq, "p#cname", s "Alice")
+  and p2 = Pred.Cmp (Pred.Eq, "p#oaddr", s "aaa") in
+  let base = Algebra.Rename ("p", Algebra.Base "Customer") in
+  let e12 = Algebra.Select (Pred.And (p1, p2), base)
+  and e21 = Algebra.Select (Pred.And (p2, p1), base) in
+  Alcotest.(check string) "conjunct order does not change the key"
+    (Algebra.canonical_fingerprint e12)
+    (Algebra.canonical_fingerprint e21);
+  Alcotest.(check bool) "raw fingerprints do differ" true
+    (not (String.equal (Algebra.fingerprint e12) (Algebra.fingerprint e21)));
+  let pr cols = Algebra.Project (cols, base) in
+  Alcotest.(check bool) "projection order stays a distinct key" true
+    (not
+       (String.equal
+          (Algebra.canonical_fingerprint (pr [ "p#cname"; "p#oaddr" ]))
+          (Algebra.canonical_fingerprint (pr [ "p#oaddr"; "p#cname" ]))));
+  Alcotest.(check bool) "product order stays a distinct key" true
+    (not
+       (String.equal
+          (Algebra.canonical_fingerprint (Algebra.Product (r_, s_)))
+          (Algebra.canonical_fingerprint (Algebra.Product (s_, r_)))));
+  let ctx = Test_core.ctx () in
+  let a = Urm.Ctx.eval ctx e12 in
+  let b = Urm.Ctx.eval ctx e21 in
+  Alcotest.(check bool) "either spelling returns the same rows" true
+    (Relation.equal_contents a b);
+  let hit, miss, evict = Urm.Ctx.plan_stats ctx in
+  Alcotest.(check (triple int int int)) "one compile serves both spellings"
+    (1, 1, 0) (hit, miss, evict)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_compiled_vs_interpreted;
@@ -435,4 +470,6 @@ let suite =
       test_aggregate_semantics;
     Alcotest.test_case "Ctx reuses one plan across evaluations" `Quick
       test_ctx_reuse;
+    Alcotest.test_case "canonical fingerprints share one cache entry" `Quick
+      test_canonical_fingerprint_cache;
   ]

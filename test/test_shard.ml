@@ -139,7 +139,7 @@ let qcheck_differential =
     QCheck.Gen.(
       pair
         (oneofl [ "Q1"; "Q2"; "Q3"; "Q4"; "Q5" ])
-        (oneofl [ "basic"; "e-basic"; "q-sharing"; "o-sharing" ]))
+        (oneofl [ "basic"; "e-basic"; "e-mqo"; "q-sharing"; "o-sharing" ]))
   in
   QCheck.Test.make ~name:"random query × algorithm × shard count is byte-identical"
     ~count:25 (QCheck.make gen) (fun (qname, alg) ->
@@ -232,21 +232,34 @@ let test_batch_pipelining () =
    bad_request whose message the router would have to parse. *)
 let test_stale_range_is_typed () =
   let f = Lazy.force fixture in
-  let params =
-    query_params "Q1" "basic"
-    @ [ ("range_lo", Json.Num 0.); ("range_hi", Json.Num 999.) ]
+  (* Both fan-out protocols: a mapping range beyond the live count, and an
+     e-unit slot whose expected mapping count is behind a mutate. *)
+  let probes =
+    [
+      query_params "Q1" "basic"
+      @ [ ("range_lo", Json.Num 0.); ("range_hi", Json.Num 999.) ];
+      query_params "Q1" "e-basic"
+      @ [
+          ("slot", Json.Num 0.);
+          ("slots", Json.Num 1.);
+          ("expect_h", Json.Num 999.);
+        ];
+    ]
   in
   List.iter
-    (fun (label, c) ->
-      match Client.call c ~op:"query" params with
-      | Error ("stale_range", _) -> ()
-      | Error (code, m) ->
-        Alcotest.failf "%s: wanted stale_range, got %s: %s" label code m
-      | Ok _ -> Alcotest.failf "%s: out-of-range query succeeded" label)
-    (("oracle", f.c_oracle)
-    :: List.map
-         (fun (shards, _, c) -> (Printf.sprintf "%d-shard router" shards, c))
-         f.routers)
+    (fun params ->
+      List.iter
+        (fun (label, c) ->
+          match Client.call c ~op:"query" params with
+          | Error ("stale_range", _) -> ()
+          | Error (code, m) ->
+            Alcotest.failf "%s: wanted stale_range, got %s: %s" label code m
+          | Ok _ -> Alcotest.failf "%s: out-of-range query succeeded" label)
+        (("oracle", f.c_oracle)
+        :: List.map
+             (fun (shards, _, c) -> (Printf.sprintf "%d-shard router" shards, c))
+             f.routers))
+    probes
 
 (* ------------------------------------------------------------------ *)
 (* Mutation rounds through the router, differential against the oracle *)
@@ -354,7 +367,7 @@ let test_mutation_rounds () =
                       (Printf.sprintf "router %d %s round %d" shards alg round)
                       c ~op:"query" (query_params "Q1" alg))))
             f.routers)
-        [ "basic"; "incr" ])
+        [ "basic"; "e-basic"; "incr" ])
     batches
 
 (* ------------------------------------------------------------------ *)
